@@ -1,0 +1,35 @@
+"""Formatting helpers shared by the benchmark files.
+
+Each benchmark regenerates one figure or quantitative claim of the paper
+(see DESIGN.md section 4); these helpers keep the printed output uniform so
+EXPERIMENTS.md can quote it directly.
+"""
+
+__all__ = ["print_header", "print_table", "format_ber"]
+
+
+def print_header(experiment_id: str, description: str) -> None:
+    """Print a banner naming the experiment being regenerated."""
+    print()
+    print("=" * 72)
+    print(f"[{experiment_id}] {description}")
+    print("=" * 72)
+
+
+def print_table(headers, rows) -> None:
+    """Print a simple aligned table."""
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i])
+                        for i, cell in enumerate(row)))
+
+
+def format_ber(ber: float) -> str:
+    """Format a BER for table output."""
+    if ber <= 0:
+        return "<1e-4"
+    return f"{ber:.2e}"

@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Reproducible random generator for benchmark workloads."""
+    return np.random.default_rng(2005)

@@ -1,0 +1,154 @@
+"""ABLATIONS — design choices of the digital back end.
+
+The paper fixes several back-end design parameters without showing the
+sensitivity behind them.  These ablations quantify the choices on the same
+simulation substrate used by the main benchmarks:
+
+* **Channel-estimate precision** — the paper stores the impulse-response
+  estimate "with a precision of up to four bits".  Sweep 1-6 bits plus an
+  unquantized estimate and measure the BER cost on a multipath link.
+* **Preamble repetitions** — the preamble repeats its base sequence so the
+  estimator can average; sweep the repetition count and measure the channel
+  estimation error.
+* **RAKE finger-selection policy** — selective (strongest taps) versus
+  partial (first taps) RAKE at the same finger count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn, noise_std_for_ebn0
+from repro.channel.multipath import exponential_decay_channel
+from repro.core.config import Gen2Config
+from repro.core.transceiver import Gen2Transceiver
+from repro.dsp.channel_estimation import ChannelEstimator
+from repro.dsp.rake import RakeReceiver
+from repro.phy.preamble import PreambleConfig, build_preamble_symbols
+from repro.pulses.shapes import gaussian_pulse
+
+from bench_utils import format_ber, print_header, print_table
+
+EBN0_DB = 14.0
+NUM_PACKETS = 3
+PAYLOAD_BITS = 48
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: channel-estimate quantization bits
+# ---------------------------------------------------------------------------
+def _ber_for_estimate_bits(bits: int | None) -> float:
+    config = Gen2Config.fast_test_config().with_changes(
+        channel_estimate_bits=bits, rake_fingers=6, channel_estimate_taps=32)
+    transceiver = Gen2Transceiver(config, rng=np.random.default_rng(91))
+    channel_rng = np.random.default_rng(92)
+    errors = 0
+    total = 0
+    for index in range(NUM_PACKETS):
+        channel = exponential_decay_channel(8e-9, 1e-9, rng=channel_rng,
+                                            complex_gains=True)
+        simulation = transceiver.simulate_packet(
+            num_payload_bits=PAYLOAD_BITS, ebn0_db=EBN0_DB, channel=channel,
+            rng=np.random.default_rng(9000 + index))
+        errors += simulation.result.payload_bit_errors
+        total += simulation.result.num_payload_bits
+    return errors / total
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: preamble repetitions vs channel-estimation error
+# ---------------------------------------------------------------------------
+def _estimation_error_vs_repetitions(rng: np.random.Generator):
+    sample_rate = 1e9
+    samples_per_chip = 8
+    pulse = gaussian_pulse(500e6, sample_rate).waveform[:samples_per_chip]
+    rows = {}
+    for repetitions in (1, 2, 4, 8):
+        preamble_config = PreambleConfig(sequence_degree=5,
+                                         num_repetitions=repetitions)
+        chips = build_preamble_symbols(preamble_config)
+        waveform = np.zeros(chips.size * samples_per_chip)
+        for index, chip in enumerate(chips):
+            start = index * samples_per_chip
+            waveform[start:start + pulse.size] += chip * pulse
+        truth = np.zeros(24)
+        truth[0] = 1.0
+        estimator = ChannelEstimator(
+            preamble_symbols=preamble_config.base_sequence_bipolar(),
+            samples_per_symbol=samples_per_chip, pulse_template=pulse,
+            num_taps=24, quantization_bits=None)
+        errors = []
+        for _ in range(5):
+            noisy = np.concatenate((waveform, np.zeros(64))) \
+                + 1.0 * rng.standard_normal(waveform.size + 64)
+            estimate = estimator.estimate_averaged(noisy, 0, sample_rate,
+                                                   num_repetitions=repetitions)
+            errors.append(float(np.sum(np.abs(estimate.taps - truth) ** 2)))
+        rows[repetitions] = float(np.mean(errors))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: S-RAKE vs P-RAKE finger selection
+# ---------------------------------------------------------------------------
+def _rake_policy_comparison(rng: np.random.Generator):
+    captures = {"srake": [], "prake": []}
+    for _ in range(10):
+        channel = exponential_decay_channel(20e-9, 2e-9, rng=rng,
+                                            complex_gains=True)
+        # Keep the first 64 ns of the response (what the back end would hold).
+        taps = channel.discrete_impulse_response(1e9)[:64]
+        from repro.dsp.channel_estimation import ChannelEstimate
+        estimate = ChannelEstimate(taps=taps, sample_rate_hz=1e9,
+                                   quantization_bits=None)
+        for policy in ("srake", "prake"):
+            rake = RakeReceiver(estimate, num_fingers=4, policy=policy)
+            captures[policy].append(rake.captured_energy_fraction())
+    return {policy: float(np.mean(values))
+            for policy, values in captures.items()}
+
+
+def _run_ablations():
+    quantization = {bits: _ber_for_estimate_bits(bits)
+                    for bits in (1, 2, 4, 6, None)}
+    repetition_rng = np.random.default_rng(93)
+    repetitions = _estimation_error_vs_repetitions(repetition_rng)
+    policy_rng = np.random.default_rng(94)
+    policies = _rake_policy_comparison(policy_rng)
+    return {"quantization": quantization, "repetitions": repetitions,
+            "policies": policies}
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_backend_choices(benchmark):
+    results = benchmark.pedantic(_run_ablations, rounds=1, iterations=1)
+
+    print_header("ABLATION", "Digital back-end design choices")
+    print("Channel-estimate precision (multipath link, "
+          f"Eb/N0 = {EBN0_DB:.0f} dB):")
+    print_table(
+        ["estimate bits", "BER"],
+        [[("float" if bits is None else bits), format_ber(ber)]
+         for bits, ber in results["quantization"].items()])
+    print()
+    print("Preamble repetitions vs channel-estimation error (noise-dominated):")
+    print_table(
+        ["repetitions", "mean squared estimation error"],
+        [[reps, f"{err:.3f}"]
+         for reps, err in sorted(results["repetitions"].items())])
+    print()
+    print("RAKE finger-selection policy (4 fingers, 20 ns RMS delay spread):")
+    print_table(
+        ["policy", "mean captured channel energy"],
+        [[policy, f"{capture:.2f}"]
+         for policy, capture in results["policies"].items()])
+
+    quantization = results["quantization"]
+    # The paper's 4-bit estimate costs little versus an unquantized estimate.
+    assert quantization[4] <= quantization[1]
+    assert quantization[4] <= quantization[None] + 0.05
+    # More preamble repetitions give a better channel estimate.
+    repetitions = results["repetitions"]
+    assert repetitions[8] < repetitions[1]
+    # Selecting the strongest taps captures at least as much energy as
+    # taking the first taps.
+    assert results["policies"]["srake"] >= results["policies"]["prake"]

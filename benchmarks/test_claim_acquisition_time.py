@@ -1,0 +1,111 @@
+"""CLAIM-ACQ — Fast acquisition through back-end parallelization.
+
+Paper claims regenerated here:
+
+* "a fast signal acquisition algorithm must be implemented to reduce the
+  duration of the preamble to a value comparable with current wireless
+  systems (~20 us)";
+* gen-1: "Through further parallelization, packet synchronization is
+  obtained in less than 70 us";
+* the back end "requires parallelization to reduce the packet
+  synchronization time".
+
+The benchmark sweeps the hypothesis-parallelism of the coarse search and
+reports the resulting synchronization time for the gen-1 search space, plus
+Monte-Carlo detection statistics of the actual acquisition block at several
+Eb/N0 operating points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import GEN1_SYNC_TIME_LIMIT_S, TARGET_PREAMBLE_DURATION_S
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.link import LinkSimulator
+from repro.core.transceiver import Gen2Transceiver
+from repro.dsp.parallelizer import acquisition_time_s
+
+from bench_utils import print_header, print_table
+
+
+def _sync_time_for_parallelism(config: Gen1Config, parallelism: int) -> float:
+    """Preamble air time plus the parallel timing search latency."""
+    hypotheses = (config.samples_per_pri_adc
+                  * config.packet.preamble.sequence_length)
+    search = acquisition_time_s(num_hypotheses=hypotheses,
+                                parallelism=parallelism,
+                                backend_clock_hz=config.backend_clock_hz)
+    return config.preamble_duration_s + search
+
+
+def _run_acquisition_experiment():
+    gen1 = Gen1Config()
+    gen2 = Gen2Config()
+    parallelism_sweep = [1, 2, 4, 8, 16, 32]
+    sync_times = {p: _sync_time_for_parallelism(gen1, p)
+                  for p in parallelism_sweep}
+
+    # Monte-Carlo detection statistics of the real acquisition block.
+    config = Gen2Config.fast_test_config()
+    detection = {}
+    for ebn0_db in (0.0, 6.0, 12.0):
+        transceiver = Gen2Transceiver(config, rng=np.random.default_rng(51))
+        simulator = LinkSimulator(transceiver, rng=np.random.default_rng(52))
+        stats = simulator.acquisition_statistics(
+            ebn0_db=ebn0_db, num_packets=8, payload_bits_per_packet=16)
+        detection[ebn0_db] = stats
+    return {
+        "gen1": gen1,
+        "gen2_preamble_s": gen2.preamble_duration_s,
+        "sync_times": sync_times,
+        "detection": detection,
+    }
+
+
+@pytest.mark.benchmark(group="claim-acq")
+def test_claim_acquisition_time(benchmark):
+    results = benchmark.pedantic(_run_acquisition_experiment, rounds=1,
+                                 iterations=1)
+    gen1 = results["gen1"]
+
+    print_header("CLAIM-ACQ", "Acquisition latency vs back-end parallelism")
+    print_table(
+        ["quantity", "paper", "measured / configured"],
+        [
+            ["gen-1 preamble air time", "(part of < 70 us budget)",
+             f"{gen1.preamble_duration_s * 1e6:.1f} us"],
+            ["gen-2 preamble air time", "~20 us target",
+             f"{results['gen2_preamble_s'] * 1e6:.1f} us"],
+            ["gen-1 sync time at paper parallelism",
+             "< 70 us",
+             f"{results['sync_times'][gen1.acquisition_parallelism] * 1e6:.1f} us"],
+        ])
+    print()
+    print_table(
+        ["parallel search lanes", "gen-1 sync time [us]", "meets < 70 us"],
+        [[p, f"{t * 1e6:.1f}", str(t < GEN1_SYNC_TIME_LIMIT_S)]
+         for p, t in sorted(results["sync_times"].items())])
+    print()
+    print_table(
+        ["Eb/N0 [dB]", "detection probability", "RMS timing error [samples]",
+         "mean search latency [us]"],
+        [[f"{ebn0:.0f}", f"{stats.detection_probability:.2f}",
+          f"{stats.rms_timing_error_samples:.2f}",
+          f"{stats.mean_search_time_s * 1e6:.1f}"]
+         for ebn0, stats in sorted(results["detection"].items())])
+
+    sync_times = results["sync_times"]
+    # Serial search misses the 70 us budget; the paper's parallelized search
+    # meets it — that is exactly why the architecture parallelizes.
+    assert sync_times[1] > GEN1_SYNC_TIME_LIMIT_S
+    assert sync_times[gen1.acquisition_parallelism] < GEN1_SYNC_TIME_LIMIT_S
+    # Latency decreases monotonically with parallelism.
+    ordered = [sync_times[p] for p in sorted(sync_times)]
+    assert all(b <= a for a, b in zip(ordered, ordered[1:]))
+    # The gen-2 preamble fits the ~20 us target.
+    assert results["gen2_preamble_s"] <= TARGET_PREAMBLE_DURATION_S
+    # Detection probability improves with Eb/N0 and is high at 12 dB.
+    detection = results["detection"]
+    assert detection[12.0].detection_probability >= 0.9
+    assert (detection[12.0].detection_probability
+            >= detection[0.0].detection_probability)

@@ -1,0 +1,95 @@
+"""CLAIM-ADC — "A 1-bit ADC in a noise limited regime, and a 4-bit ADC in a
+narrowband interferer regime are sufficient."
+
+The benchmark sweeps the receiver ADC resolution from 1 to 6 bits in two
+regimes:
+
+* **noise-limited**: AWGN only, at an Eb/N0 where the full-resolution
+  receiver is essentially error-free;
+* **interferer-limited**: the same link plus a strong in-band narrowband
+  interferer, with the back end's spectral monitor + digital notch engaged.
+
+Expected shape (the paper's claim): in the noise-limited regime even the
+1-bit receiver works (small loss versus 5-bit); with the interferer the
+1-bit receiver breaks down while >= 4 bits recovers the link.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import ToneInterferer
+from repro.core.config import Gen2Config
+from repro.core.transceiver import Gen2Transceiver
+
+from bench_utils import format_ber, print_header, print_table
+
+EBN0_DB = 14.0
+NUM_PACKETS = 4
+PAYLOAD_BITS = 64
+INTERFERER_AMPLITUDE = 2.0     # strong in-band CW interferer
+INTERFERER_FREQUENCY = 130e6   # offset from the sub-band centre
+
+
+def _base_config(adc_bits: int, notch: bool) -> Gen2Config:
+    return Gen2Config.fast_test_config().with_changes(
+        adc_bits=adc_bits,
+        enable_digital_notch=notch,
+        adc_comparator_noise_std=0.0,
+        adc_capacitor_mismatch_std=0.0)
+
+
+def _measure_ber(adc_bits: int, with_interferer: bool) -> float:
+    config = _base_config(adc_bits, notch=with_interferer)
+    transceiver = Gen2Transceiver(config, rng=np.random.default_rng(41))
+    errors = 0
+    total = 0
+    for index in range(NUM_PACKETS):
+        interferer = None
+        if with_interferer:
+            interferer = ToneInterferer(frequency_hz=INTERFERER_FREQUENCY,
+                                        amplitude=INTERFERER_AMPLITUDE)
+        simulation = transceiver.simulate_packet(
+            num_payload_bits=PAYLOAD_BITS, ebn0_db=EBN0_DB,
+            interferer=interferer,
+            rng=np.random.default_rng(1000 + index))
+        errors += simulation.result.payload_bit_errors
+        total += simulation.result.num_payload_bits
+    return errors / total
+
+
+def _run_adc_sweep():
+    resolutions = [1, 2, 3, 4, 5, 6]
+    noise_only = {bits: _measure_ber(bits, with_interferer=False)
+                  for bits in resolutions}
+    interferer = {bits: _measure_ber(bits, with_interferer=True)
+                  for bits in resolutions}
+    return {"resolutions": resolutions, "noise_only": noise_only,
+            "interferer": interferer}
+
+
+@pytest.mark.benchmark(group="claim-adc")
+def test_claim_adc_resolution(benchmark):
+    results = benchmark.pedantic(_run_adc_sweep, rounds=1, iterations=1)
+
+    print_header("CLAIM-ADC",
+                 "BER vs ADC resolution, noise-limited vs narrowband-interferer")
+    print(f"Eb/N0 = {EBN0_DB} dB, interferer amplitude = "
+          f"{INTERFERER_AMPLITUDE} (in-band CW), digital notch engaged "
+          "in the interferer regime")
+    print()
+    print_table(
+        ["ADC bits", "BER (noise only)", "BER (with interferer)"],
+        [[bits, format_ber(results["noise_only"][bits]),
+          format_ber(results["interferer"][bits])]
+         for bits in results["resolutions"]])
+
+    noise_only = results["noise_only"]
+    interferer = results["interferer"]
+    # Paper shape 1: in the noise-limited regime the 1-bit receiver works.
+    assert noise_only[1] < 0.05
+    # Paper shape 2: with a strong narrowband interferer the 1-bit receiver
+    # breaks down...
+    assert interferer[1] > 0.05
+    # ... while a >= 4-bit converter (plus the notch) restores the link.
+    assert interferer[4] < 0.05
+    assert interferer[5] < 0.05

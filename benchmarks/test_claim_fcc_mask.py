@@ -1,0 +1,103 @@
+"""CLAIM-FCC — FCC mask compliance and the 14-channel band plan.
+
+Paper claims regenerated here:
+
+* UWB communication is approved from 3.1 to 10.6 GHz with a maximum EIRP
+  spectral density of -41.3 dBm/MHz;
+* the gen-2 signal is a sequence of 500 MHz pulses up-converted to one of
+  14 channels in that band.
+
+The benchmark generates the gen-2 pulse train for every sub-band, scales it
+to the maximum power the mask allows, verifies compliance, and reports the
+integrated transmit power (which should land near the classic -14.3 dBm
+figure for a 500 MHz channel) together with the band-plan geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    DEFAULT_BAND_PLAN,
+    FCC_EIRP_LIMIT_DBM_PER_MHZ,
+    FCC_UWB_HIGH_HZ,
+    FCC_UWB_LOW_HZ,
+)
+from repro.channel.pathloss import max_transmit_power_dbm
+from repro.pulses.fcc_mask import check_mask_compliance, max_compliant_scale
+from repro.pulses.shapes import gaussian_pulse
+
+from bench_utils import print_header, print_table
+
+SAMPLE_RATE = 2e9
+PRI_S = 10e-9
+NUM_PULSES = 200
+
+
+def _pulse_train() -> np.ndarray:
+    """A representative 100 Mbps BPSK pulse train at complex baseband."""
+    pulse = gaussian_pulse(500e6, SAMPLE_RATE).waveform.astype(complex)
+    samples_per_pri = int(round(PRI_S * SAMPLE_RATE))
+    rng = np.random.default_rng(61)
+    train = np.zeros(NUM_PULSES * samples_per_pri, dtype=complex)
+    for index in range(NUM_PULSES):
+        polarity = 1.0 if rng.integers(0, 2) else -1.0
+        start = index * samples_per_pri
+        segment = pulse[:samples_per_pri]
+        train[start:start + segment.size] += polarity * segment
+    return train
+
+
+def _run_fcc_experiment():
+    train = _pulse_train()
+    rows = []
+    worst_margins = []
+    compliant_flags = []
+    for channel in range(DEFAULT_BAND_PLAN.num_channels):
+        carrier = DEFAULT_BAND_PLAN.center_frequency(channel)
+        scale = max_compliant_scale(train, SAMPLE_RATE, carrier_hz=carrier)
+        report = check_mask_compliance(train * scale, SAMPLE_RATE,
+                                       carrier_hz=carrier)
+        low, high = DEFAULT_BAND_PLAN.channel_edges(channel)
+        rows.append([channel, f"{carrier / 1e9:.2f}",
+                     f"{low / 1e9:.2f}-{high / 1e9:.2f}",
+                     str(report.compliant),
+                     f"{report.worst_margin_db:.2f}"])
+        worst_margins.append(report.worst_margin_db)
+        compliant_flags.append(report.compliant)
+    return {
+        "rows": rows,
+        "worst_margins": worst_margins,
+        "compliant_flags": compliant_flags,
+        "integrated_power_dbm": max_transmit_power_dbm(500e6),
+    }
+
+
+@pytest.mark.benchmark(group="claim-fcc")
+def test_claim_fcc_mask(benchmark):
+    results = benchmark.pedantic(_run_fcc_experiment, rounds=1, iterations=1)
+
+    print_header("CLAIM-FCC",
+                 "-41.3 dBm/MHz mask compliance across the 14-channel plan")
+    print_table(
+        ["quantity", "paper", "measured / configured"],
+        [
+            ["regulatory band", "3.1-10.6 GHz",
+             f"{FCC_UWB_LOW_HZ / 1e9:.1f}-{FCC_UWB_HIGH_HZ / 1e9:.1f} GHz"],
+            ["PSD limit", "-41.3 dBm/MHz",
+             f"{FCC_EIRP_LIMIT_DBM_PER_MHZ} dBm/MHz"],
+            ["number of sub-bands", "14",
+             str(DEFAULT_BAND_PLAN.num_channels)],
+            ["max integrated TX power in 500 MHz", "(-14.3 dBm)",
+             f"{results['integrated_power_dbm']:.1f} dBm"],
+        ])
+    print()
+    print_table(
+        ["channel", "centre [GHz]", "band [GHz]", "mask compliant",
+         "worst margin [dB]"],
+        results["rows"])
+
+    assert all(results["compliant_flags"])
+    assert DEFAULT_BAND_PLAN.fits_in_fcc_band()
+    assert results["integrated_power_dbm"] == pytest.approx(-14.3, abs=0.2)
+    # The calibration leaves only a small margin (we scale up to the mask).
+    assert max(results["worst_margins"]) < 3.0

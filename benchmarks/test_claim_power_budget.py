@@ -1,0 +1,85 @@
+"""CLAIM-PWR — Power budget and the power/QoS/data-rate trade-off.
+
+Paper claims regenerated here:
+
+* "The large complexity required in the synchronization and demodulation of
+  the UWB signal results in more than half of the system power being
+  dissipated in the digital back end and the ADC."
+* "The specification of the data converter resolution determines not only
+  its power dissipation but also that of the digital back end."
+* "This receiver allows us to trade off power dissipation with signal
+  processing complexity, quality of service and data rate, adapting to
+  channel conditions."
+
+The benchmark builds the per-block power budgets of both generations, sweeps
+the ADC resolution, and exercises the adaptation controller's rate/power
+frontier.
+"""
+
+import pytest
+
+from repro.core.adaptation import AdaptationController, ChannelConditions
+from repro.core.config import Gen2Config
+from repro.power.budget import gen1_power_budget, gen2_power_budget
+
+from bench_utils import print_header, print_table
+
+
+def _run_power_experiment():
+    gen1 = gen1_power_budget()
+    gen2 = gen2_power_budget()
+
+    resolution_sweep = {}
+    for bits in (1, 3, 5, 7):
+        budget = gen2_power_budget(adc_bits=bits)
+        resolution_sweep[bits] = {
+            "total_w": budget.total_w(),
+            "adc_w": budget.group_power_w("adc"),
+            "digital_w": budget.group_power_w("digital"),
+        }
+
+    controller = AdaptationController(Gen2Config())
+    frontier = controller.rate_power_frontier(ChannelConditions(snr_db=20.0))
+    return {"gen1": gen1, "gen2": gen2,
+            "resolution_sweep": resolution_sweep, "frontier": frontier}
+
+
+@pytest.mark.benchmark(group="claim-pwr")
+def test_claim_power_budget(benchmark):
+    results = benchmark.pedantic(_run_power_experiment, rounds=1, iterations=1)
+    gen1 = results["gen1"]
+    gen2 = results["gen2"]
+
+    print_header("CLAIM-PWR", "System power budgets and adaptation trade-off")
+    for name, budget in (("gen-1", gen1), ("gen-2", gen2)):
+        print(f"{name}: total {budget.total_w() * 1e3:.1f} mW, "
+              f"ADC+digital share {budget.adc_plus_digital_fraction():.0%}")
+        print_table(
+            ["block", "group", "power [mW]", "share"],
+            [[block, group, f"{power * 1e3:.2f}", f"{fraction:.1%}"]
+             for block, group, power, fraction in budget.as_table()])
+        print()
+
+    print_table(
+        ["ADC bits", "ADC power [mW]", "digital power [mW]", "total [mW]"],
+        [[bits, f"{row['adc_w'] * 1e3:.1f}", f"{row['digital_w'] * 1e3:.1f}",
+          f"{row['total_w'] * 1e3:.1f}"]
+         for bits, row in sorted(results["resolution_sweep"].items())])
+    print()
+    print_table(
+        ["data rate [Mbps]", "receiver power [mW]"],
+        [[f"{rate / 1e6:.1f}", f"{power * 1e3:.1f}"]
+         for rate, power in results["frontier"]])
+
+    # Paper shape 1: ADC + digital back end take more than half the power.
+    assert gen1.adc_plus_digital_fraction() > 0.5
+    assert gen2.adc_plus_digital_fraction() > 0.5
+    # Paper shape 2: ADC resolution drives both ADC and back-end power.
+    sweep = results["resolution_sweep"]
+    assert sweep[7]["adc_w"] > sweep[1]["adc_w"]
+    assert sweep[7]["digital_w"] > sweep[1]["digital_w"]
+    # Paper shape 3: the adaptation frontier trades data rate against power —
+    # the highest-rate mode burns more power than the most robust mode.
+    frontier = results["frontier"]
+    assert len(frontier) >= 3
+    assert frontier[-1][1] != frontier[0][1]

@@ -1,0 +1,87 @@
+"""FIG2 — Planar elliptical UWB antenna (Fig. 2).
+
+The paper presents an electrically small (4.2 cm x 2.7 cm) planar antenna
+covering 3.1-10.6 GHz.  The figure itself is a photograph; the reproducible
+content is the antenna's behaviour over the band, which this benchmark
+regenerates from the behavioural model: return loss across 3.1-10.6 GHz,
+in-band gain flatness, lower cut-off implied by the element size, and the
+pulse distortion (impulse-response spread) it adds to the composite channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    ANTENNA_LENGTH_M,
+    ANTENNA_WIDTH_M,
+    FCC_UWB_HIGH_HZ,
+    FCC_UWB_LOW_HZ,
+)
+from repro.pulses.modulated import modulated_gaussian_pulse
+from repro.rf.antenna import PlanarEllipticalAntenna
+
+from bench_utils import print_header, print_table
+
+
+def _run_antenna_experiment():
+    antenna = PlanarEllipticalAntenna()
+    frequencies = np.linspace(FCC_UWB_LOW_HZ, FCC_UWB_HIGH_HZ, 256)
+    return_loss = antenna.return_loss_db(frequencies)
+    gain = antenna.gain_db(frequencies)
+
+    # Pulse-distortion measure: pass a 500 MHz pulse on a 4.5 GHz carrier
+    # through the antenna and measure how much the energy spreads in time.
+    pulse = modulated_gaussian_pulse(4.488e9, 500e6, sample_rate_hz=40e9)
+    distorted = antenna.apply(pulse.passband, pulse.sample_rate_hz)
+    energy = np.cumsum(np.abs(distorted) ** 2)
+    energy /= energy[-1]
+    t10 = np.searchsorted(energy, 0.10) / pulse.sample_rate_hz
+    t90 = np.searchsorted(energy, 0.90) / pulse.sample_rate_hz
+
+    sample_points = {
+        3.5e9: None, 5.0e9: None, 7.0e9: None, 9.0e9: None, 10.5e9: None}
+    rows = []
+    for frequency in sample_points:
+        rows.append([f"{frequency / 1e9:.1f}",
+                     f"{float(antenna.return_loss_db(frequency)):.1f}",
+                     f"{float(antenna.gain_db(frequency)):.1f}"])
+    return {
+        "antenna": antenna,
+        "worst_return_loss_db": float(np.max(return_loss)),
+        "gain_ripple_db": float(np.max(gain) - np.min(gain)),
+        "lower_cutoff_hz": antenna.lower_cutoff_hz,
+        "energy_spread_s": t90 - t10,
+        "rows": rows,
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_antenna(benchmark):
+    results = benchmark.pedantic(_run_antenna_experiment, rounds=1,
+                                 iterations=1)
+
+    print_header("FIG2", "Planar elliptical UWB antenna (Fig. 2)")
+    print_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["element size", "4.2 cm x 2.7 cm",
+             f"{ANTENNA_LENGTH_M * 100:.1f} cm x {ANTENNA_WIDTH_M * 100:.1f} cm"],
+            ["operating band", "3.1-10.6 GHz",
+             f"covers band: {results['antenna'].covers_band(FCC_UWB_LOW_HZ, FCC_UWB_HIGH_HZ)}"],
+            ["worst in-band return loss", "< -10 dB (typ.)",
+             f"{results['worst_return_loss_db']:.1f} dB"],
+            ["in-band gain ripple", "(small)",
+             f"{results['gain_ripple_db']:.1f} dB"],
+            ["lower cut-off (quarter-wave)", "~3 GHz",
+             f"{results['lower_cutoff_hz'] / 1e9:.2f} GHz"],
+            ["10-90% energy spread of a 2 ns pulse", "(sub-ns)",
+             f"{results['energy_spread_s'] * 1e9:.2f} ns"],
+        ])
+    print()
+    print_table(["frequency [GHz]", "S11 [dB]", "gain [dBi]"], results["rows"])
+
+    assert results["worst_return_loss_db"] < -8.0
+    assert results["antenna"].covers_band(FCC_UWB_LOW_HZ, FCC_UWB_HIGH_HZ)
+    assert results["lower_cutoff_hz"] < FCC_UWB_LOW_HZ
+    assert results["gain_ripple_db"] < 6.0
+    assert results["energy_spread_s"] < 3e-9

@@ -1,0 +1,99 @@
+"""FIG4 — 500 MHz pulse with 5 GHz carrier (Fig. 4).
+
+Fig. 4 is an oscilloscope capture of the discrete prototype's output: a
+500 MHz-bandwidth pulse on a 5 GHz carrier, about 150 mV peak, shown on a
+580 ps/div time base.  The benchmark regenerates the waveform from the
+prototype-platform model and reports the measurable quantities of the
+figure: peak amplitude, carrier frequency (from the spectral peak), -10 dB
+bandwidth, envelope duration, and whether the same pulse train respects the
+FCC mask once scaled to the regulatory limit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    FIG4_AMPLITUDE_V,
+    FIG4_BANDWIDTH_HZ,
+    FIG4_CARRIER_HZ,
+    FIG4_NUM_DIVS,
+    FIG4_TIME_PER_DIV_S,
+)
+from repro.pulses.fcc_mask import check_mask_compliance, max_compliant_scale
+from repro.pulses.modulated import fig4_prototype_pulse
+from repro.pulses.spectrum import summarize_spectrum
+from repro.prototype.platform import DiscretePrototypePlatform
+
+
+from bench_utils import print_header, print_table
+
+
+def _run_fig4_experiment():
+    # The waveform as the oscilloscope would capture it.
+    pulse = fig4_prototype_pulse()
+    summary = summarize_spectrum(pulse.passband, pulse.sample_rate_hz)
+
+    # Envelope duration (10% - 90% energy) of the pulse.
+    energy = np.cumsum(np.abs(pulse.passband) ** 2)
+    energy /= energy[-1]
+    t10 = np.searchsorted(energy, 0.10) / pulse.sample_rate_hz
+    t90 = np.searchsorted(energy, 0.90) / pulse.sample_rate_hz
+
+    # The same pulse produced by the prototype platform (DAC + filters).
+    platform = DiscretePrototypePlatform()
+    platform_pulse = platform.generate_passband(platform.reference_pulse(),
+                                                amplitude=FIG4_AMPLITUDE_V)
+
+    # FCC compliance of a repetitive version of the pulse scaled to the mask.
+    repetition = np.zeros(int(round(20e-9 * pulse.sample_rate_hz)))
+    single = pulse.passband
+    repetition[:single.size] += single[:repetition.size]
+    train = np.tile(repetition, 50)
+    scale = max_compliant_scale(train, pulse.sample_rate_hz)
+    report = check_mask_compliance(train * scale, pulse.sample_rate_hz)
+
+    return {
+        "pulse": pulse,
+        "summary": summary,
+        "duration_s": t90 - t10,
+        "platform_peak": platform_pulse.peak_amplitude,
+        "compliant": report.compliant,
+        "worst_margin_db": report.worst_margin_db,
+    }
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_pulse_waveform(benchmark):
+    results = benchmark.pedantic(_run_fig4_experiment, rounds=1, iterations=1)
+    pulse = results["pulse"]
+    summary = results["summary"]
+    window = FIG4_TIME_PER_DIV_S * FIG4_NUM_DIVS
+
+    print_header("FIG4", "500 MHz pulse with 5 GHz carrier (Fig. 4)")
+    print_table(
+        ["quantity", "paper (figure)", "measured"],
+        [
+            ["carrier frequency", "5 GHz",
+             f"{summary.peak_frequency_hz / 1e9:.2f} GHz (spectral peak)"],
+            ["peak amplitude", "150 mV",
+             f"{pulse.peak_amplitude * 1e3:.0f} mV"],
+            ["platform output peak", "150 mV",
+             f"{results['platform_peak'] * 1e3:.0f} mV"],
+            ["-10 dB bandwidth", "500 MHz",
+             f"{summary.bandwidth_10db_hz / 1e6:.0f} MHz"],
+            ["10-90% energy duration", "(a few ns)",
+             f"{results['duration_s'] * 1e9:.2f} ns"],
+            ["display window", "5.8 ns (10 x 580 ps)",
+             f"{pulse.duration_s * 1e9:.2f} ns"],
+            ["qualifies as UWB (FCC definition)", "yes",
+             str(summary.qualifies_as_uwb)],
+            ["pulse train fits FCC mask after scaling", "required",
+             f"{results['compliant']} (margin {results['worst_margin_db']:.1f} dB)"],
+        ])
+
+    assert abs(summary.peak_frequency_hz - FIG4_CARRIER_HZ) < 0.3e9
+    assert pulse.peak_amplitude == pytest.approx(FIG4_AMPLITUDE_V, rel=1e-6)
+    assert 0.3 * FIG4_BANDWIDTH_HZ < summary.bandwidth_10db_hz < 2.0 * FIG4_BANDWIDTH_HZ
+    assert pulse.duration_s >= window * 0.98
+    assert summary.qualifies_as_uwb
+    assert results["compliant"]

@@ -1,0 +1,93 @@
+"""Narrowband-interferer detection and mitigation (the Fig. 3 control loop).
+
+A WLAN-style narrowband interferer sits inside the receiver's 500 MHz
+sub-band.  The digital back end's spectral monitor detects it, estimates its
+frequency, and the estimate drives a notch ahead of synchronization — the
+"Spectral Monitoring" -> notch-filter control path of Fig. 3.
+
+This example shows each stage explicitly:
+
+1. the spectral monitor's detection decision and frequency estimate,
+2. the notch rejection actually applied at that frequency, and
+3. the packet outcome with the mitigation loop off versus on.
+
+Run with:  python examples/interferer_mitigation.py
+"""
+
+import numpy as np
+
+from repro.channel import ToneInterferer, interferer_amplitude_for_sir
+from repro.core import Gen2Config, Gen2Transceiver
+from repro.dsp import DigitalNotchFilter, SpectralMonitor
+
+
+INTERFERER_FREQUENCY_HZ = 140e6   # offset from the sub-band centre
+SIR_DB = -15.0                    # interferer 15 dB stronger than the signal
+EBN0_DB = 14.0
+
+
+def monitor_stage(rng: np.random.Generator) -> float:
+    """Run the spectral monitor on a signal+interferer capture."""
+    signal = 0.1 * (rng.standard_normal(4096) + 1j * rng.standard_normal(4096))
+    amplitude = interferer_amplitude_for_sir(signal, SIR_DB)
+    interferer = ToneInterferer(frequency_hz=INTERFERER_FREQUENCY_HZ,
+                                amplitude=amplitude)
+    capture = interferer.add_to(signal, 1e9)
+
+    monitor = SpectralMonitor(sample_rate_hz=1e9)
+    report = monitor.analyze(capture)
+    print("Spectral monitor")
+    print(f"  interferer detected   : {report.detected}")
+    print(f"  estimated frequency   : {report.frequency_hz / 1e6:.1f} MHz "
+          f"(true {INTERFERER_FREQUENCY_HZ / 1e6:.1f} MHz)")
+    print(f"  power above UWB floor : {report.power_above_floor_db:.1f} dB")
+
+    notch = DigitalNotchFilter(notch_frequency_hz=report.frequency_hz,
+                               sample_rate_hz=1e9)
+    print(f"  notch rejection at estimate : "
+          f"{notch.rejection_at_db(INTERFERER_FREQUENCY_HZ):.1f} dB")
+    print()
+    return report.frequency_hz
+
+
+def link_stage() -> None:
+    """Packet outcomes with and without the mitigation loop."""
+    print("Gen-2 packets with a strong in-band interferer "
+          f"(SIR = {SIR_DB:.0f} dB, Eb/N0 = {EBN0_DB:.0f} dB)")
+    for notch_enabled in (False, True):
+        config = Gen2Config.fast_test_config().with_changes(
+            enable_digital_notch=notch_enabled)
+        transceiver = Gen2Transceiver(config, rng=np.random.default_rng(11))
+        failures = 0
+        errors = 0
+        total = 0
+        for index in range(5):
+            probe = transceiver.transmitter.transmit(
+                np.zeros(64, dtype=np.int64)).waveform
+            amplitude = interferer_amplitude_for_sir(probe, SIR_DB)
+            interferer = ToneInterferer(frequency_hz=INTERFERER_FREQUENCY_HZ,
+                                        amplitude=amplitude)
+            simulation = transceiver.simulate_packet(
+                num_payload_bits=64, ebn0_db=EBN0_DB, interferer=interferer,
+                rng=np.random.default_rng(100 + index))
+            result = simulation.result
+            failures += 0 if result.packet_success else 1
+            errors += result.payload_bit_errors
+            total += result.num_payload_bits
+        label = "monitor + notch ON " if notch_enabled else "mitigation OFF     "
+        print(f"  {label}: {failures}/5 packets lost, "
+              f"payload BER {errors / total:.3f}")
+    print()
+    print("The notch recovers the link that the interferer had taken down —")
+    print("the reason Fig. 3 routes the spectral monitor's estimate to a")
+    print("notch filter in the front end.")
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    monitor_stage(rng)
+    link_stage()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Gen-2 link over an 802.15.3a multipath channel: the RAKE at work.
+
+The paper's motivating impairment is the indoor UWB channel with an RMS
+delay spread on the order of 20 ns.  This example:
+
+1. draws channel realizations from the IEEE 802.15.3a Saleh-Valenzuela
+   model (CM1 = line-of-sight, CM3 = non-line-of-sight office),
+2. runs the gen-2 transceiver over them at several Eb/N0 points, and
+3. shows how the RAKE finger count changes the captured channel energy and
+   the resulting packet outcomes.
+
+Run with:  python examples/multipath_rake_link.py
+"""
+
+import numpy as np
+
+from repro.channel import CM1, CM3, SalehValenzuelaChannelGenerator
+from repro.core import Gen2Config, Gen2Transceiver, LinkSimulator
+
+
+def describe_channels() -> None:
+    print("802.15.3a channel statistics (20 realizations each)")
+    for parameters in (CM1, CM3):
+        generator = SalehValenzuelaChannelGenerator(
+            parameters, rng=np.random.default_rng(1), complex_gains=True)
+        spread = generator.average_rms_delay_spread_s(num_realizations=20)
+        print(f"  {parameters.name}: nominal {parameters.nominal_rms_delay_spread_ns:.0f} ns, "
+              f"measured mean RMS delay spread {spread * 1e9:.1f} ns")
+    print()
+
+
+def run_link(model, rake_fingers: int, ebn0_db: float, num_packets: int = 5):
+    """BER of the gen-2 link over fresh channel realizations."""
+    config = Gen2Config.fast_test_config().with_changes(
+        rake_fingers=rake_fingers,
+        channel_estimate_taps=48,
+        use_mlse=True)
+    channel_rng = np.random.default_rng(2)
+    generator = SalehValenzuelaChannelGenerator(model, rng=channel_rng,
+                                                complex_gains=True)
+    transceiver = Gen2Transceiver(config, rng=np.random.default_rng(3))
+    simulator = LinkSimulator(transceiver, rng=np.random.default_rng(4))
+    point = simulator.ber_point(ebn0_db, num_packets=num_packets,
+                                payload_bits_per_packet=64,
+                                channel_factory=generator.realize)
+    return point
+
+
+def main() -> None:
+    describe_channels()
+
+    print("BER of the gen-2 link over CM1 (LOS) and CM3 (NLOS) channels")
+    print(f"{'model':>6} {'fingers':>8} {'Eb/N0 [dB]':>11} {'BER':>10} {'PER':>6}")
+    for model in (CM1, CM3):
+        for fingers in (1, 4, 8):
+            for ebn0 in (12.0, 18.0):
+                point = run_link(model, fingers, ebn0)
+                print(f"{model.name:>6} {fingers:>8} {ebn0:>11.1f} "
+                      f"{point.ber:>10.3e} {point.per:>6.2f}")
+    print()
+    print("More RAKE fingers capture more of the channel's spread energy,")
+    print("which is exactly the paper's argument for a programmable RAKE:")
+    print("spend correlator power only when the channel demands it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Discrete prototype platform: Fig. 4 waveforms and modulation comparison.
+
+The paper's discrete prototype generates arbitrary signals within a 500 MHz
+bandwidth so that modulation schemes can be compared under identical
+conditions.  This example:
+
+1. regenerates the Fig. 4 waveform (a 500 MHz pulse on a 5 GHz carrier,
+   150 mV peak) and prints its measurable properties,
+2. checks that a pulse train built from it can be scaled to the FCC
+   -41.3 dBm/MHz mask, and
+3. runs the modulation-scheme comparison (BPSK / OOK / PPM / 4-PAM).
+
+Run with:  python examples/prototype_waveforms.py
+"""
+
+import numpy as np
+
+from repro.pulses import (
+    check_mask_compliance,
+    fig4_prototype_pulse,
+    max_compliant_scale,
+    summarize_spectrum,
+)
+from repro.prototype import DiscretePrototypePlatform, ModulationComparison
+
+
+def fig4_waveform() -> None:
+    pulse = fig4_prototype_pulse()
+    summary = summarize_spectrum(pulse.passband, pulse.sample_rate_hz)
+    print("Fig. 4 waveform (regenerated)")
+    print(f"  carrier (spectral peak) : {summary.peak_frequency_hz / 1e9:.2f} GHz")
+    print(f"  peak amplitude          : {pulse.peak_amplitude * 1e3:.0f} mV")
+    print(f"  -10 dB bandwidth        : {summary.bandwidth_10db_hz / 1e6:.0f} MHz")
+    print(f"  fractional bandwidth    : {summary.fractional_bandwidth:.2f}")
+    print(f"  qualifies as UWB        : {summary.qualifies_as_uwb}")
+    print()
+
+
+def fcc_scaling() -> None:
+    pulse = fig4_prototype_pulse()
+    repetition = np.zeros(int(round(20e-9 * pulse.sample_rate_hz)))
+    repetition[:pulse.passband.size] += pulse.passband[:repetition.size]
+    train = np.tile(repetition, 50)
+    scale = max_compliant_scale(train, pulse.sample_rate_hz)
+    report = check_mask_compliance(train * scale, pulse.sample_rate_hz)
+    print("FCC mask check of a 50 MHz-PRF pulse train built from the Fig. 4 pulse")
+    print(f"  amplitude scale to reach the mask : {scale:.2e}")
+    print(f"  compliant after scaling           : {report.compliant}")
+    print(f"  worst-case margin                 : {report.worst_margin_db:.2f} dB "
+          f"at {report.worst_frequency_hz / 1e9:.2f} GHz")
+    print()
+
+
+def modulation_comparison() -> None:
+    platform = DiscretePrototypePlatform()
+    comparison = ModulationComparison(platform,
+                                      rng=np.random.default_rng(5))
+    ebn0_grid = [2.0, 6.0, 10.0]
+    results = comparison.run_all(("bpsk", "ook", "ppm", "pam4"), ebn0_grid,
+                                 num_bits=3000)
+    print("Modulation comparison on the prototype (BER)")
+    header = f"{'Eb/N0 [dB]':>10} " + " ".join(f"{s.upper():>10}"
+                                               for s in results)
+    print(header)
+    for index, ebn0 in enumerate(ebn0_grid):
+        row = f"{ebn0:>10.1f} "
+        row += " ".join(f"{results[s].measured_ber[index]:>10.3e}"
+                        for s in results)
+        print(row)
+    print()
+    print("BPSK's antipodal signalling is the most power-efficient, which is")
+    print("why both chips modulate pulse polarity; OOK and PPM give up ~3 dB,")
+    print("and 4-PAM trades sensitivity for two bits per pulse.")
+
+
+def main() -> None:
+    fig4_waveform()
+    fcc_scaling()
+    modulation_comparison()
+
+
+if __name__ == "__main__":
+    main()

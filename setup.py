@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose setuptools/pip are too
+old for PEP 660 editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Pulse-level simulation library reproducing 'Direct "
+                 "Conversion Pulsed UWB Transceiver Architecture' "
+                 "(Blazquez et al., DATE 2005)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

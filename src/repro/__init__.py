@@ -1,0 +1,66 @@
+"""repro: pulse-level simulation library reproducing the DATE 2005 paper
+"Direct Conversion Pulsed UWB Transceiver Architecture" (Blazquez et al.).
+
+The package is organized by subsystem:
+
+* :mod:`repro.constants` — FCC limits, band plan, headline system numbers.
+* :mod:`repro.pulses` — pulse shapes, modulation, pulse trains, FCC mask.
+* :mod:`repro.rf` — antenna, LNA, direct-conversion mixer, LO/synthesizer,
+  notch filter, composed front ends.
+* :mod:`repro.adc` — flash / time-interleaved / SAR converters, jitter,
+  power models.
+* :mod:`repro.channel` — AWGN, 802.15.3a Saleh-Valenzuela multipath,
+  narrowband interferers, path loss / link budget.
+* :mod:`repro.dsp` — the digital back end: correlators, acquisition,
+  tracking, channel estimation, RAKE, MLSE (Viterbi), spectral monitoring,
+  digital notch, AGC, parallelization.
+* :mod:`repro.phy` — preambles, CRC, scrambler, convolutional coding,
+  packet framing.
+* :mod:`repro.power` — per-block power models and system budgets.
+* :mod:`repro.core` — the two transceiver generations, link simulation and
+  the power/QoS/data-rate adaptation controller.
+* :mod:`repro.prototype` — the discrete prototype platform and the
+  modulation-scheme comparison.
+
+Quick start::
+
+    from repro.core import Gen2Config, Gen2Transceiver
+
+    transceiver = Gen2Transceiver(Gen2Config.fast_test_config())
+    simulation = transceiver.simulate_packet(num_payload_bits=64, ebn0_db=14.0)
+    print(simulation.result.crc_ok, simulation.result.bit_error_rate)
+"""
+
+from repro import (
+    adc,
+    channel,
+    constants,
+    core,
+    dsp,
+    phy,
+    power,
+    prototype,
+    pulses,
+    rf,
+    utils,
+)
+from repro.constants import DEFAULT_BAND_PLAN, BandPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adc",
+    "channel",
+    "constants",
+    "core",
+    "dsp",
+    "phy",
+    "power",
+    "prototype",
+    "pulses",
+    "rf",
+    "utils",
+    "BandPlan",
+    "DEFAULT_BAND_PLAN",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""Ideal uniform quantizer — the reference all ADC models build on.
+
+The resolution question is central to the paper: "A 1-bit analog-to-digital
+converter in a noise limited regime, and a 4-bit ADC in a narrowband
+interferer regime are sufficient."  Every ADC model in this subpackage
+reduces to this uniform quantizer plus architecture-specific impairments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_int, require_positive
+
+__all__ = ["UniformQuantizer", "ideal_sndr_db"]
+
+
+def ideal_sndr_db(bits: int) -> float:
+    """Ideal full-scale sine-wave SNDR of a ``bits``-bit quantizer (6.02 N + 1.76)."""
+    require_int(bits, "bits", minimum=1)
+    return 6.02 * bits + 1.76
+
+
+@dataclass
+class UniformQuantizer:
+    """Mid-rise uniform quantizer with saturation.
+
+    Attributes
+    ----------
+    bits:
+        Resolution in bits (1 bit = a comparator / sign detector).
+    full_scale:
+        Input range is ``[-full_scale, +full_scale]``.
+    """
+
+    bits: int
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_int(self.bits, "bits", minimum=1)
+        require_positive(self.full_scale, "full_scale")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of output codes."""
+        return 1 << self.bits
+
+    @property
+    def step(self) -> float:
+        """LSB size."""
+        return 2.0 * self.full_scale / self.num_levels
+
+    def quantize_codes(self, x) -> np.ndarray:
+        """Quantize to integer codes in ``[0, num_levels - 1]`` with saturation."""
+        x = np.asarray(x, dtype=float)
+        codes = np.floor((x + self.full_scale) / self.step).astype(np.int64)
+        return np.clip(codes, 0, self.num_levels - 1)
+
+    def codes_to_values(self, codes) -> np.ndarray:
+        """Reconstruction values (bin centres) for integer codes."""
+        codes = np.asarray(codes, dtype=np.int64)
+        return (codes.astype(float) + 0.5) * self.step - self.full_scale
+
+    def quantize(self, x) -> np.ndarray:
+        """Quantize real input (or complex input component-wise)."""
+        x = np.asarray(x)
+        if np.iscomplexobj(x):
+            return (self.codes_to_values(self.quantize_codes(x.real))
+                    + 1j * self.codes_to_values(self.quantize_codes(x.imag)))
+        return self.codes_to_values(self.quantize_codes(x))
+
+    def quantization_noise_power(self) -> float:
+        """Theoretical in-range quantization noise power, step^2 / 12."""
+        return self.step ** 2 / 12.0
+
+    def measured_sndr_db(self, amplitude: float | None = None,
+                         num_samples: int = 4096,
+                         frequency_fraction: float = 0.013) -> float:
+        """Measure SNDR with a full-scale (or given-amplitude) sine-wave test.
+
+        A single-tone test at a non-harmonically-related frequency, the way
+        an ADC would be characterized on the bench.
+        """
+        if amplitude is None:
+            amplitude = self.full_scale * (1.0 - 1.0 / self.num_levels)
+        n = np.arange(num_samples)
+        tone = amplitude * np.sin(2.0 * np.pi * frequency_fraction * n)
+        quantized = self.quantize(tone)
+        error = quantized - tone
+        signal_power = np.mean(tone ** 2)
+        error_power = np.mean(error ** 2)
+        if error_power <= 0:
+            return float("inf")
+        return float(10.0 * np.log10(signal_power / error_power))

@@ -1,0 +1,182 @@
+"""IEEE 802.15.3a Saleh-Valenzuela UWB channel model (CM1-CM4).
+
+The paper assumes an indoor UWB channel with an RMS delay spread "on the
+order of 20 ns".  The standard statistical model for exactly this
+environment is the IEEE 802.15.3a modified Saleh-Valenzuela model, whose
+four parameter sets cover line-of-sight 0-4 m (CM1) up to an extreme NLOS
+environment with 25 ns RMS delay spread (CM4).  CM3 (4-10 m NLOS, ~15 ns)
+and CM4 bracket the paper's 20 ns figure.
+
+The model generates clusters with Poisson arrivals (rate ``cluster_rate``),
+rays within each cluster with Poisson arrivals (rate ``ray_rate``), cluster
+powers decaying with constant ``cluster_decay`` and ray powers decaying with
+constant ``ray_decay``, log-normal shadowing on each ray, and equiprobable
+polarity inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.multipath import MultipathChannel
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "SalehValenzuelaParameters",
+    "CM1",
+    "CM2",
+    "CM3",
+    "CM4",
+    "CHANNEL_MODELS",
+    "SalehValenzuelaChannelGenerator",
+    "generate_channel",
+]
+
+
+@dataclass(frozen=True)
+class SalehValenzuelaParameters:
+    """Parameter set of the 802.15.3a modified S-V model.
+
+    Rates are in 1/ns and decay constants in ns, matching the units used in
+    the IEEE 802.15.3a final report; conversions to seconds happen inside
+    the generator.
+    """
+
+    name: str
+    cluster_rate_per_ns: float      # Lambda
+    ray_rate_per_ns: float          # lambda
+    cluster_decay_ns: float         # Gamma
+    ray_decay_ns: float             # gamma
+    cluster_shadowing_db: float     # sigma_1
+    ray_shadowing_db: float         # sigma_2
+    lognormal_shadowing_db: float   # sigma_x
+    nominal_rms_delay_spread_ns: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.cluster_rate_per_ns, "cluster_rate_per_ns")
+        require_positive(self.ray_rate_per_ns, "ray_rate_per_ns")
+        require_positive(self.cluster_decay_ns, "cluster_decay_ns")
+        require_positive(self.ray_decay_ns, "ray_decay_ns")
+
+
+# Parameter values from the IEEE 802.15.3a channel modeling sub-committee
+# final report (Foerster et al., 2003).
+CM1 = SalehValenzuelaParameters(
+    name="CM1", cluster_rate_per_ns=0.0233, ray_rate_per_ns=2.5,
+    cluster_decay_ns=7.1, ray_decay_ns=4.3,
+    cluster_shadowing_db=3.3941, ray_shadowing_db=3.3941,
+    lognormal_shadowing_db=3.0, nominal_rms_delay_spread_ns=5.0)
+
+CM2 = SalehValenzuelaParameters(
+    name="CM2", cluster_rate_per_ns=0.4, ray_rate_per_ns=0.5,
+    cluster_decay_ns=5.5, ray_decay_ns=6.7,
+    cluster_shadowing_db=3.3941, ray_shadowing_db=3.3941,
+    lognormal_shadowing_db=3.0, nominal_rms_delay_spread_ns=8.0)
+
+CM3 = SalehValenzuelaParameters(
+    name="CM3", cluster_rate_per_ns=0.0667, ray_rate_per_ns=2.1,
+    cluster_decay_ns=14.0, ray_decay_ns=7.9,
+    cluster_shadowing_db=3.3941, ray_shadowing_db=3.3941,
+    lognormal_shadowing_db=3.0, nominal_rms_delay_spread_ns=15.0)
+
+CM4 = SalehValenzuelaParameters(
+    name="CM4", cluster_rate_per_ns=0.0667, ray_rate_per_ns=2.1,
+    cluster_decay_ns=24.0, ray_decay_ns=12.0,
+    cluster_shadowing_db=3.3941, ray_shadowing_db=3.3941,
+    lognormal_shadowing_db=3.0, nominal_rms_delay_spread_ns=25.0)
+
+CHANNEL_MODELS = {"CM1": CM1, "CM2": CM2, "CM3": CM3, "CM4": CM4}
+
+
+class SalehValenzuelaChannelGenerator:
+    """Random UWB channel realizations from a parameter set."""
+
+    def __init__(self, parameters: SalehValenzuelaParameters,
+                 rng: np.random.Generator | None = None,
+                 max_excess_delay_ns: float | None = None,
+                 complex_gains: bool = False) -> None:
+        self.parameters = parameters
+        self.rng = rng if rng is not None else np.random.default_rng()
+        # Truncate the profile where ray power has decayed ~40 dB.
+        if max_excess_delay_ns is None:
+            max_excess_delay_ns = 10.0 * max(parameters.cluster_decay_ns,
+                                             parameters.ray_decay_ns)
+        self.max_excess_delay_ns = float(max_excess_delay_ns)
+        self.complex_gains = complex_gains
+
+    def _poisson_arrivals(self, rate_per_ns: float, horizon_ns: float,
+                          start_ns: float = 0.0) -> np.ndarray:
+        """Arrival times of a Poisson process on [start, horizon]."""
+        arrivals = []
+        t = start_ns
+        while True:
+            t += self.rng.exponential(1.0 / rate_per_ns)
+            if t > horizon_ns:
+                break
+            arrivals.append(t)
+        return np.asarray(arrivals)
+
+    def realize(self, name_suffix: str = "") -> MultipathChannel:
+        """Draw one channel realization (unit total power)."""
+        p = self.parameters
+        horizon = self.max_excess_delay_ns
+
+        cluster_times = np.concatenate((
+            [0.0], self._poisson_arrivals(p.cluster_rate_per_ns, horizon)))
+
+        delays_ns: list[float] = []
+        gains: list[complex] = []
+        for cluster_time in cluster_times:
+            ray_times = np.concatenate((
+                [0.0],
+                self._poisson_arrivals(p.ray_rate_per_ns,
+                                       horizon - cluster_time)))
+            for ray_time in ray_times:
+                mean_power = np.exp(-cluster_time / p.cluster_decay_ns) \
+                    * np.exp(-ray_time / p.ray_decay_ns)
+                shadow_db = self.rng.normal(
+                    0.0, np.sqrt(p.cluster_shadowing_db ** 2
+                                 + p.ray_shadowing_db ** 2))
+                power = mean_power * 10.0 ** (shadow_db / 10.0)
+                amplitude = np.sqrt(power)
+                if self.complex_gains:
+                    phase = self.rng.uniform(0.0, 2.0 * np.pi)
+                    gain = amplitude * np.exp(1j * phase)
+                else:
+                    gain = amplitude * self.rng.choice([-1.0, 1.0])
+                delays_ns.append(cluster_time + ray_time)
+                gains.append(gain)
+
+        delays_s = np.asarray(delays_ns) * 1e-9
+        gains_arr = np.asarray(gains)
+        channel = MultipathChannel(
+            delays_s, gains_arr,
+            name=f"{p.name}{name_suffix}")
+        return channel.normalized()
+
+    def realize_many(self, count: int) -> list[MultipathChannel]:
+        """Draw ``count`` independent realizations."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.realize(name_suffix=f"_{i}") for i in range(count)]
+
+    def average_rms_delay_spread_s(self, num_realizations: int = 20) -> float:
+        """Monte-Carlo estimate of the model's mean RMS delay spread."""
+        spreads = [self.realize().rms_delay_spread_s()
+                   for _ in range(num_realizations)]
+        return float(np.mean(spreads))
+
+
+def generate_channel(model: str = "CM3",
+                     rng: np.random.Generator | None = None,
+                     complex_gains: bool = False) -> MultipathChannel:
+    """Convenience wrapper: one realization of a named 802.15.3a model."""
+    key = model.upper()
+    if key not in CHANNEL_MODELS:
+        raise ValueError(
+            f"unknown channel model {model!r}; choose from {sorted(CHANNEL_MODELS)}")
+    generator = SalehValenzuelaChannelGenerator(CHANNEL_MODELS[key], rng=rng,
+                                                complex_gains=complex_gains)
+    return generator.realize()

@@ -1,0 +1,174 @@
+"""Multi-channel operation: sub-band selection and hopping across the band plan.
+
+The gen-2 signal is "upconverted to one of 14 channels (sub-bands) in the
+3.1-10.6 GHz band".  Working at complex baseband, the choice of sub-band
+does not change the waveform math — what it changes is the RF environment:
+which narrowband interferers fall in band, what the path loss is, and how
+much settling time the synthesizer spends when the link hops.
+
+This module provides the link-level view of that choice:
+
+* :class:`ChannelQualityMap` — per-sub-band interference/SNR bookkeeping, as
+  the back end's spectral monitor would accumulate it over time;
+* :class:`ChannelSelector` — picks the best sub-band (or an ordered hopping
+  pattern) from the quality map, avoiding occupied channels;
+* :class:`HoppingLinkPlanner` — computes the throughput overhead of a
+  hopping pattern given the synthesizer's settling time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import BandPlan, DEFAULT_BAND_PLAN
+from repro.rf.synthesizer import FrequencySynthesizer, HoppingSequence
+from repro.utils.validation import require_int, require_positive
+
+__all__ = ["ChannelQualityMap", "ChannelSelector", "HoppingLinkPlanner"]
+
+
+@dataclass
+class ChannelQualityMap:
+    """Per-sub-band link-quality bookkeeping.
+
+    The map stores, for every channel of the band plan, the most recent
+    estimate of the signal-to-interference-plus-noise ratio (dB) and whether
+    a narrowband interferer has been detected there.  It is the data the
+    gen-2 back end can assemble from its spectral monitor while hopping.
+    """
+
+    band_plan: BandPlan = field(default_factory=lambda: DEFAULT_BAND_PLAN)
+
+    def __post_init__(self) -> None:
+        count = self.band_plan.num_channels
+        self._sinr_db = np.full(count, 20.0)
+        self._interferer = np.zeros(count, dtype=bool)
+
+    @property
+    def num_channels(self) -> int:
+        return self.band_plan.num_channels
+
+    def update(self, channel: int, sinr_db: float,
+               interferer_detected: bool = False) -> None:
+        """Record a fresh measurement for one channel."""
+        require_int(channel, "channel", minimum=0)
+        if channel >= self.num_channels:
+            raise ValueError(f"channel {channel} outside the band plan")
+        self._sinr_db[channel] = float(sinr_db)
+        self._interferer[channel] = bool(interferer_detected)
+
+    def record_interferer_frequency(self, frequency_hz: float,
+                                    sinr_penalty_db: float = 20.0) -> int:
+        """Mark the channel containing an interferer at an absolute frequency.
+
+        Returns the affected channel index.  The channel's SINR is reduced
+        by ``sinr_penalty_db`` to reflect the degradation.
+        """
+        channel = self.band_plan.channel_for_frequency(frequency_hz)
+        self._interferer[channel] = True
+        self._sinr_db[channel] -= sinr_penalty_db
+        return channel
+
+    def sinr_db(self, channel: int) -> float:
+        """Latest SINR estimate for a channel."""
+        return float(self._sinr_db[channel])
+
+    def interferer_detected(self, channel: int) -> bool:
+        """True when a narrowband interferer was seen in the channel."""
+        return bool(self._interferer[channel])
+
+    def clean_channels(self) -> list[int]:
+        """Channels with no detected interferer."""
+        return [int(c) for c in np.nonzero(~self._interferer)[0]]
+
+    def as_rows(self) -> list[tuple[int, float, bool]]:
+        """(channel, sinr_db, interferer) rows for reporting."""
+        return [(c, float(self._sinr_db[c]), bool(self._interferer[c]))
+                for c in range(self.num_channels)]
+
+
+class ChannelSelector:
+    """Pick sub-bands from a :class:`ChannelQualityMap`."""
+
+    def __init__(self, quality_map: ChannelQualityMap) -> None:
+        self.quality_map = quality_map
+
+    def best_channel(self) -> int:
+        """The interferer-free channel with the highest SINR.
+
+        Falls back to the globally best SINR when every channel has an
+        interferer (better a degraded channel than none).
+        """
+        candidates = self.quality_map.clean_channels()
+        if not candidates:
+            candidates = list(range(self.quality_map.num_channels))
+        sinrs = [self.quality_map.sinr_db(c) for c in candidates]
+        return int(candidates[int(np.argmax(sinrs))])
+
+    def ranked_channels(self, count: int | None = None) -> list[int]:
+        """Channels ordered best-first (clean channels before jammed ones)."""
+        rows = self.quality_map.as_rows()
+        ordered = sorted(rows, key=lambda row: (row[2], -row[1]))
+        channels = [row[0] for row in ordered]
+        if count is not None:
+            require_int(count, "count", minimum=1)
+            channels = channels[:count]
+        return channels
+
+    def hopping_sequence(self, length: int,
+                         max_channels: int = 4) -> HoppingSequence:
+        """A hopping pattern cycling over the best ``max_channels`` channels."""
+        require_int(length, "length", minimum=1)
+        best = self.ranked_channels(count=max_channels)
+        channels = tuple(best[i % len(best)] for i in range(length))
+        return HoppingSequence(channels=channels,
+                               band_plan=self.quality_map.band_plan)
+
+
+class HoppingLinkPlanner:
+    """Throughput accounting for a frequency-hopping link.
+
+    Every hop to a *different* channel costs the synthesizer's settling
+    time, during which no pulses are sent.  The planner converts a hopping
+    pattern plus per-dwell payload into an effective data rate, which is the
+    number the adaptation layer needs when deciding whether hopping (for
+    interference diversity) is worth its overhead.
+    """
+
+    def __init__(self, synthesizer: FrequencySynthesizer | None = None,
+                 dwell_time_s: float = 10e-6,
+                 data_rate_bps: float = 100e6) -> None:
+        self.synthesizer = (synthesizer if synthesizer is not None
+                            else FrequencySynthesizer())
+        require_positive(dwell_time_s, "dwell_time_s")
+        require_positive(data_rate_bps, "data_rate_bps")
+        self.dwell_time_s = dwell_time_s
+        self.data_rate_bps = data_rate_bps
+
+    def hop_overhead_fraction(self, sequence: HoppingSequence,
+                              num_dwells: int | None = None) -> float:
+        """Fraction of air time lost to synthesizer settling."""
+        channels = sequence.channels
+        if num_dwells is None:
+            num_dwells = len(channels)
+        require_int(num_dwells, "num_dwells", minimum=1)
+        hops = 0
+        previous = None
+        for index in range(num_dwells):
+            channel = channels[index % len(channels)]
+            if previous is not None and channel != previous:
+                hops += 1
+            previous = channel
+        total_time = num_dwells * self.dwell_time_s \
+            + hops * self.synthesizer.hop_time_s
+        if total_time <= 0:
+            return 0.0
+        return hops * self.synthesizer.hop_time_s / total_time
+
+    def effective_data_rate_bps(self, sequence: HoppingSequence,
+                                num_dwells: int | None = None) -> float:
+        """Data rate after subtracting the hop overhead."""
+        overhead = self.hop_overhead_fraction(sequence, num_dwells=num_dwells)
+        return self.data_rate_bps * (1.0 - overhead)

@@ -1,0 +1,171 @@
+"""Link-level simulation harness: BER/PER sweeps and acquisition statistics.
+
+This is the measurement machinery the benchmarks use to regenerate the
+paper's quantitative claims: BER versus Eb/N0 (with or without multipath,
+interference, ADC-resolution limits), packet-error rates, throughput, and
+acquisition time/probability statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.metrics import BERCurve, BERPoint
+from repro.core.transceiver import _Transceiver
+from repro.utils.validation import require_int
+
+__all__ = ["AcquisitionStatistics", "LinkSimulator"]
+
+
+@dataclass
+class AcquisitionStatistics:
+    """Aggregated acquisition behaviour over many packets."""
+
+    attempts: int = 0
+    detections: int = 0
+    timing_errors_samples: list[int] = field(default_factory=list)
+    search_times_s: list[float] = field(default_factory=list)
+
+    @property
+    def detection_probability(self) -> float:
+        """Fraction of packets whose preamble was detected."""
+        if self.attempts == 0:
+            return 0.0
+        return self.detections / self.attempts
+
+    @property
+    def mean_search_time_s(self) -> float:
+        """Average back-end search latency of the detected packets."""
+        if not self.search_times_s:
+            return 0.0
+        return float(np.mean(self.search_times_s))
+
+    @property
+    def rms_timing_error_samples(self) -> float:
+        """RMS timing error of the detected packets."""
+        if not self.timing_errors_samples:
+            return 0.0
+        return float(np.sqrt(np.mean(np.square(self.timing_errors_samples))))
+
+    def record(self, detected: bool, timing_error_samples: int,
+               search_time_s: float) -> None:
+        """Add one packet's acquisition outcome."""
+        self.attempts += 1
+        if detected:
+            self.detections += 1
+            self.timing_errors_samples.append(int(timing_error_samples))
+            self.search_times_s.append(float(search_time_s))
+
+
+class LinkSimulator:
+    """Monte-Carlo link simulation driver for a transceiver."""
+
+    def __init__(self, transceiver: _Transceiver,
+                 rng: np.random.Generator | None = None) -> None:
+        self.transceiver = transceiver
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # BER sweeps
+    # ------------------------------------------------------------------
+    def ber_point(self, ebn0_db: float, num_packets: int = 10,
+                  payload_bits_per_packet: int = 64,
+                  channel_factory: Callable[[], object] | None = None,
+                  interferer_factory: Callable[[], object] | None = None,
+                  **packet_kwargs) -> BERPoint:
+        """Measure one Eb/N0 operating point.
+
+        ``channel_factory`` / ``interferer_factory`` are zero-argument
+        callables returning a fresh channel / interferer per packet (or
+        ``None`` for a static / absent one).
+        """
+        require_int(num_packets, "num_packets", minimum=1)
+        require_int(payload_bits_per_packet, "payload_bits_per_packet", minimum=1)
+        bit_errors = 0
+        total_bits = 0
+        packets_failed = 0
+        for _ in range(num_packets):
+            channel = channel_factory() if channel_factory is not None else None
+            interferer = (interferer_factory()
+                          if interferer_factory is not None else None)
+            simulation = self.transceiver.simulate_packet(
+                num_payload_bits=payload_bits_per_packet,
+                ebn0_db=ebn0_db,
+                channel=channel,
+                interferer=interferer,
+                rng=self.rng,
+                **packet_kwargs)
+            bit_errors += simulation.result.payload_bit_errors
+            total_bits += simulation.result.num_payload_bits
+            if not simulation.result.packet_success:
+                packets_failed += 1
+        return BERPoint(ebn0_db=ebn0_db, bit_errors=bit_errors,
+                        total_bits=total_bits, packets_sent=num_packets,
+                        packets_failed=packets_failed)
+
+    def ber_sweep(self, ebn0_values_db, label: str = "link",
+                  num_packets: int = 10, payload_bits_per_packet: int = 64,
+                  channel_factory: Callable[[], object] | None = None,
+                  interferer_factory: Callable[[], object] | None = None,
+                  **packet_kwargs) -> BERCurve:
+        """Sweep Eb/N0 and return the resulting BER curve."""
+        curve = BERCurve(label=label)
+        for ebn0_db in ebn0_values_db:
+            curve.add(self.ber_point(
+                float(ebn0_db), num_packets=num_packets,
+                payload_bits_per_packet=payload_bits_per_packet,
+                channel_factory=channel_factory,
+                interferer_factory=interferer_factory,
+                **packet_kwargs))
+        return curve
+
+    # ------------------------------------------------------------------
+    # Acquisition statistics
+    # ------------------------------------------------------------------
+    def acquisition_statistics(self, ebn0_db: float, num_packets: int = 20,
+                               payload_bits_per_packet: int = 16,
+                               channel_factory: Callable[[], object] | None = None,
+                               **packet_kwargs) -> AcquisitionStatistics:
+        """Measure detection probability, timing error and search latency."""
+        require_int(num_packets, "num_packets", minimum=1)
+        stats = AcquisitionStatistics()
+        for _ in range(num_packets):
+            channel = channel_factory() if channel_factory is not None else None
+            simulation = self.transceiver.simulate_packet(
+                num_payload_bits=payload_bits_per_packet,
+                ebn0_db=ebn0_db,
+                channel=channel,
+                rng=self.rng,
+                **packet_kwargs)
+            result = simulation.result
+            stats.record(result.detected, result.timing_error_samples,
+                         result.acquisition_time_s)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
+    def effective_throughput_bps(self, ebn0_db: float, num_packets: int = 10,
+                                 payload_bits_per_packet: int = 64,
+                                 channel_factory: Callable[[], object] | None = None,
+                                 **packet_kwargs) -> float:
+        """Goodput: delivered payload bits per second of air time."""
+        delivered_bits = 0
+        air_time_s = 0.0
+        for _ in range(num_packets):
+            channel = channel_factory() if channel_factory is not None else None
+            simulation = self.transceiver.simulate_packet(
+                num_payload_bits=payload_bits_per_packet,
+                ebn0_db=ebn0_db,
+                channel=channel,
+                rng=self.rng,
+                **packet_kwargs)
+            air_time_s += simulation.transmit.duration_s
+            if simulation.result.packet_success:
+                delivered_bits += simulation.result.num_payload_bits
+        if air_time_s <= 0:
+            return 0.0
+        return delivered_bits / air_time_s

@@ -1,0 +1,157 @@
+"""Result containers and link-quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import special
+
+from repro.utils.bits import bit_errors
+
+__all__ = [
+    "PacketResult",
+    "BERPoint",
+    "BERCurve",
+    "qfunc",
+    "theoretical_bpsk_ber",
+    "theoretical_ook_ber",
+    "theoretical_ppm_ber",
+]
+
+
+def qfunc(x) -> np.ndarray:
+    """Gaussian Q-function."""
+    return 0.5 * special.erfc(np.asarray(x, dtype=float) / np.sqrt(2.0))
+
+
+def theoretical_bpsk_ber(ebn0_db) -> np.ndarray:
+    """Matched-filter BPSK bit error rate in AWGN."""
+    ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=float) / 10.0)
+    return qfunc(np.sqrt(2.0 * ebn0))
+
+
+def theoretical_ook_ber(ebn0_db) -> np.ndarray:
+    """On-off keying with an optimal threshold in AWGN."""
+    ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=float) / 10.0)
+    return qfunc(np.sqrt(ebn0))
+
+
+def theoretical_ppm_ber(ebn0_db) -> np.ndarray:
+    """Binary orthogonal (PPM) signalling in AWGN."""
+    ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=float) / 10.0)
+    return qfunc(np.sqrt(ebn0))
+
+
+@dataclass(frozen=True)
+class PacketResult:
+    """Outcome of transmitting and receiving one packet."""
+
+    detected: bool
+    crc_ok: bool
+    payload_bit_errors: int
+    num_payload_bits: int
+    timing_error_samples: int
+    acquisition_time_s: float
+    peak_acquisition_metric: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Payload BER of this packet (1.0 when nothing was recovered)."""
+        if self.num_payload_bits == 0:
+            return 1.0
+        return self.payload_bit_errors / self.num_payload_bits
+
+    @property
+    def packet_success(self) -> bool:
+        """A packet counts as delivered when detected and CRC-clean."""
+        return self.detected and self.crc_ok
+
+
+@dataclass(frozen=True)
+class BERPoint:
+    """One operating point of a BER sweep."""
+
+    ebn0_db: float
+    bit_errors: int
+    total_bits: int
+    packets_sent: int
+    packets_failed: int
+
+    @property
+    def ber(self) -> float:
+        """Measured bit error rate (1.0 when no bits were measured)."""
+        if self.total_bits == 0:
+            return 1.0
+        return self.bit_errors / self.total_bits
+
+    @property
+    def per(self) -> float:
+        """Measured packet error rate."""
+        if self.packets_sent == 0:
+            return 1.0
+        return self.packets_failed / self.packets_sent
+
+
+@dataclass
+class BERCurve:
+    """A sweep of BER points plus metadata."""
+
+    label: str
+    points: list[BERPoint] = field(default_factory=list)
+
+    def add(self, point: BERPoint) -> None:
+        """Append a point to the curve."""
+        self.points.append(point)
+
+    def ebn0_values(self) -> np.ndarray:
+        """The swept Eb/N0 values."""
+        return np.asarray([p.ebn0_db for p in self.points])
+
+    def ber_values(self) -> np.ndarray:
+        """The measured BER values."""
+        return np.asarray([p.ber for p in self.points])
+
+    def required_ebn0_for_ber(self, target_ber: float) -> float:
+        """Interpolate the Eb/N0 needed to hit ``target_ber`` (inf if never)."""
+        ebn0 = self.ebn0_values()
+        ber = self.ber_values()
+        if ebn0.size == 0:
+            return float("inf")
+        order = np.argsort(ebn0)
+        ebn0, ber = ebn0[order], ber[order]
+        below = np.where(ber <= target_ber)[0]
+        if below.size == 0:
+            return float("inf")
+        first = below[0]
+        if first == 0:
+            return float(ebn0[0])
+        # Log-linear interpolation between the bracketing points.
+        b0, b1 = ber[first - 1], ber[first]
+        e0, e1 = ebn0[first - 1], ebn0[first]
+        if b0 <= 0 or b1 <= 0 or b0 == b1:
+            return float(e1)
+        t = (np.log10(target_ber) - np.log10(b0)) / (np.log10(b1) - np.log10(b0))
+        return float(e0 + t * (e1 - e0))
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """Rows of ``(ebn0_db, ber, per)`` for printing."""
+        return [(p.ebn0_db, p.ber, p.per) for p in self.points]
+
+
+def count_payload_errors(sent_bits, received_bits) -> int:
+    """Bit errors between sent and received payloads of possibly unequal length.
+
+    Missing bits count as errors (a truncated payload is not a free pass).
+    """
+    sent_bits = np.asarray(sent_bits, dtype=np.int64)
+    received_bits = np.asarray(received_bits, dtype=np.int64)
+    overlap = min(sent_bits.size, received_bits.size)
+    errors = bit_errors(sent_bits[:overlap], received_bits[:overlap]) \
+        if overlap else 0
+    errors += sent_bits.size - overlap
+    return int(errors)
+
+
+__all__.append("count_payload_errors")

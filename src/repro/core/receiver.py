@@ -1,0 +1,302 @@
+"""Receivers for both transceiver generations.
+
+The receive pipeline mirrors the block diagrams of Fig. 1 and Fig. 3:
+
+``analog waveform -> AGC -> ADC -> coarse acquisition -> channel estimation
+-> RAKE combining (-> MLSE/Viterbi) -> demodulation -> packet parsing``
+
+Everything downstream of the ADC operates on the quantized ADC-rate sample
+stream, the way the silicon does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adc.interleaved import TimeInterleavedADC
+from repro.adc.sar import QuadratureSARADC
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.metrics import PacketResult, count_payload_errors
+from repro.dsp.acquisition import AcquisitionConfig, AcquisitionResult, CoarseAcquisition
+from repro.dsp.agc import AutomaticGainControl
+from repro.dsp.channel_estimation import ChannelEstimate, ChannelEstimator
+from repro.dsp.notch import DigitalNotchFilter
+from repro.dsp.rake import RakeReceiver
+from repro.dsp.spectral_monitor import SpectralMonitor, SpectralMonitorConfig
+from repro.dsp.viterbi import MLSEEqualizer
+from repro.phy.packet import HEADER_LENGTH_BITS, PacketParser
+from repro.phy.preamble import build_preamble_symbols
+from repro.pulses.shapes import Pulse, gaussian_derivative_pulse, gaussian_pulse
+from repro.utils.bits import bits_to_int
+
+__all__ = ["ReceiveResult", "Gen1Receiver", "Gen2Receiver"]
+
+
+@dataclass
+class ReceiveResult:
+    """Everything the receiver learned from one capture."""
+
+    acquisition: AcquisitionResult
+    channel_estimate: ChannelEstimate | None
+    payload_bits: np.ndarray
+    crc_ok: bool
+    body_bits: np.ndarray = field(repr=False, default=None)
+    statistics: np.ndarray = field(repr=False, default=None)
+    interferer_report: object = None
+
+    @property
+    def detected(self) -> bool:
+        """True when acquisition declared a packet."""
+        return bool(self.acquisition.detected)
+
+    def to_packet_result(self, sent_payload_bits,
+                         true_preamble_start_adc: int) -> PacketResult:
+        """Score this reception against the known transmitted payload."""
+        sent_payload_bits = np.asarray(sent_payload_bits, dtype=np.int64)
+        errors = count_payload_errors(sent_payload_bits, self.payload_bits)
+        return PacketResult(
+            detected=self.detected,
+            crc_ok=bool(self.crc_ok),
+            payload_bit_errors=errors,
+            num_payload_bits=int(sent_payload_bits.size),
+            timing_error_samples=self.acquisition.timing_error_samples(
+                true_preamble_start_adc),
+            acquisition_time_s=self.acquisition.search_time_s,
+            peak_acquisition_metric=self.acquisition.peak_metric,
+        )
+
+
+class _PulsedReceiver:
+    """Shared receive pipeline; subclasses provide the pulse and the ADC."""
+
+    def __init__(self, config, pulse_sim_rate: Pulse) -> None:
+        self.config = config
+        self.parser = PacketParser(config.packet)
+        self.agc = AutomaticGainControl(target_rms=0.2)
+
+        decimation = config.decimation_factor
+        template = np.asarray(pulse_sim_rate.waveform)[::decimation]
+        self.pulse_template = template
+        self.samples_per_chip = config.samples_per_pri_adc
+        self.samples_per_symbol = self.samples_per_chip * config.pulses_per_bit
+
+        # Known preamble waveform at the ADC rate (used for acquisition).
+        preamble_symbols = build_preamble_symbols(config.packet.preamble)
+        self.preamble_symbols = preamble_symbols
+        self.preamble_template = self._chips_to_waveform(preamble_symbols)
+        self.preamble_length_samples = (preamble_symbols.size
+                                        * self.samples_per_chip)
+
+        # One-bit symbol template (pulses_per_bit pulses at PRI spacing).
+        self.symbol_template = self._chips_to_waveform(
+            np.ones(config.pulses_per_bit))
+
+        self.acquisition = CoarseAcquisition(
+            self.preamble_template,
+            AcquisitionConfig(threshold=config.acquisition_threshold,
+                              parallelism=config.acquisition_parallelism,
+                              backend_clock_hz=config.backend_clock_hz))
+        base_sequence = config.packet.preamble.base_sequence_bipolar()
+        self.channel_estimator = ChannelEstimator(
+            preamble_symbols=base_sequence,
+            samples_per_symbol=self.samples_per_chip,
+            pulse_template=self.pulse_template,
+            num_taps=config.channel_estimate_taps,
+            quantization_bits=config.channel_estimate_bits)
+
+    # ------------------------------------------------------------------
+    # Template construction
+    # ------------------------------------------------------------------
+    def _chips_to_waveform(self, chips) -> np.ndarray:
+        """Place one pulse per chip (scaled by the chip value) on the ADC grid."""
+        chips = np.asarray(chips, dtype=float)
+        total = chips.size * self.samples_per_chip
+        is_complex = np.iscomplexobj(self.pulse_template)
+        waveform = np.zeros(total, dtype=complex if is_complex else float)
+        pulse_len = self.pulse_template.size
+        for index, chip in enumerate(chips):
+            start = index * self.samples_per_chip
+            stop = min(start + pulse_len, total)
+            waveform[start:stop] += chip * self.pulse_template[:stop - start]
+        return waveform
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _digitize(self, analog_adc_rate, rng) -> np.ndarray:
+        """Quantize the ADC-rate analog samples (architecture-specific)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _decimate(self, waveform) -> np.ndarray:
+        return np.asarray(waveform)[::self.config.decimation_factor]
+
+    def _demodulate_statistics(self, statistics) -> np.ndarray:
+        """Map normalized decision statistics to bits (BPSK slicer)."""
+        return (np.real(statistics) > 0).astype(np.int64)
+
+    def _coded_payload_bit_count(self, header_bits) -> int:
+        """Number of body bits after the header, as implied by the header."""
+        payload_length = bits_to_int(header_bits[:12])
+        coding_flag = int(header_bits[15])
+        crc_width = self.config.packet.crc.width
+        protected = payload_length + crc_width
+        code = self.config.packet.code
+        if coding_flag and code is not None:
+            return (protected + code.constraint_length - 1) * code.rate_inverse
+        return protected
+
+    def receive(self, waveform, rng: np.random.Generator | None = None,
+                monitor_spectrum: bool = False) -> ReceiveResult:
+        """Run the full receive pipeline on a simulation-rate waveform."""
+        if rng is None:
+            rng = np.random.default_rng()
+
+        adc_input = self._decimate(waveform)
+        scaled, _gain = self.agc.apply_from_peak(adc_input, full_scale=1.0,
+                                                 peak_backoff_db=1.0)
+        samples = self._digitize(scaled, rng)
+
+        # Spectral monitoring and (optional) closed-loop interferer
+        # mitigation: the back end estimates the interferer frequency and
+        # notches it out before synchronization, exactly the control path
+        # Fig. 3 draws from the spectral monitor to the notch filter.
+        notch_enabled = getattr(self.config, "enable_digital_notch", False)
+        interferer_report = None
+        if monitor_spectrum or notch_enabled:
+            monitor = SpectralMonitor(self.config.adc_rate_hz,
+                                      SpectralMonitorConfig())
+            try:
+                interferer_report = monitor.analyze(samples)
+            except ValueError:
+                interferer_report = None
+        if (notch_enabled and interferer_report is not None
+                and interferer_report.detected):
+            notch = DigitalNotchFilter(
+                notch_frequency_hz=interferer_report.frequency_hz,
+                sample_rate_hz=self.config.adc_rate_hz)
+            samples = notch.apply(samples)
+
+        acquisition = self.acquisition.acquire(samples)
+        if not acquisition.detected:
+            return ReceiveResult(acquisition=acquisition, channel_estimate=None,
+                                 payload_bits=np.zeros(0, dtype=np.int64),
+                                 crc_ok=False, body_bits=np.zeros(0, dtype=np.int64),
+                                 statistics=np.zeros(0),
+                                 interferer_report=interferer_report)
+
+        timing = acquisition.timing_offset_samples
+        estimate = self.channel_estimator.estimate_averaged(
+            samples, timing, self.config.adc_rate_hz,
+            num_repetitions=self.config.packet.preamble.num_repetitions)
+
+        rake = RakeReceiver(estimate,
+                            num_fingers=getattr(self.config, "rake_fingers", 1),
+                            policy=getattr(self.config, "rake_policy", "srake"))
+
+        body_start = timing + self.preamble_length_samples
+        template_energy = float(np.sum(np.abs(self.symbol_template) ** 2))
+        weight_energy = float(np.sum(np.abs(rake.combining_weights()) ** 2))
+        normalization = max(template_energy * weight_energy, 1e-30)
+
+        # Demodulate the header first, then as many body bits as it implies.
+        header_stats = rake.combine_stream(
+            samples, self.symbol_template, self.samples_per_symbol,
+            body_start, HEADER_LENGTH_BITS) / normalization
+        header_bits = self._demodulate_statistics(header_stats)
+        remaining = self._coded_payload_bit_count(header_bits)
+
+        available = (samples.size - body_start
+                     - HEADER_LENGTH_BITS * self.samples_per_symbol)
+        max_remaining = max(available // self.samples_per_symbol, 0)
+        remaining = int(min(remaining, max_remaining))
+
+        payload_stats = np.zeros(0, dtype=complex)
+        if remaining > 0:
+            payload_start = (body_start
+                             + HEADER_LENGTH_BITS * self.samples_per_symbol)
+            payload_stats = rake.combine_stream(
+                samples, self.symbol_template, self.samples_per_symbol,
+                payload_start, remaining) / normalization
+
+        statistics = np.concatenate((header_stats, payload_stats))
+
+        if getattr(self.config, "use_mlse", False) and payload_stats.size:
+            isi = rake.isi_taps(
+                self.samples_per_symbol,
+                max_symbol_taps=getattr(self.config, "mlse_max_taps", 3))
+            if isi.size > 1:
+                equalizer = MLSEEqualizer(isi, alphabet=(-1.0, 1.0))
+                payload_bits_coded = equalizer.equalize_to_bits(payload_stats)
+            else:
+                payload_bits_coded = self._demodulate_statistics(payload_stats)
+            soft_values = None
+        else:
+            payload_bits_coded = self._demodulate_statistics(payload_stats)
+            soft_values = np.real(payload_stats)
+
+        body_bits = np.concatenate((header_bits, payload_bits_coded))
+        parse = self.parser.parse(body_bits, soft_values=soft_values)
+
+        return ReceiveResult(
+            acquisition=acquisition,
+            channel_estimate=estimate,
+            payload_bits=parse.payload_bits,
+            crc_ok=parse.crc_ok,
+            body_bits=body_bits,
+            statistics=statistics,
+            interferer_report=interferer_report,
+        )
+
+
+class Gen1Receiver(_PulsedReceiver):
+    """Gen-1 receiver: wideband front end into the 2 GSPS interleaved flash ADC."""
+
+    def __init__(self, config: Gen1Config | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        config = config if config is not None else Gen1Config()
+        pulse = gaussian_derivative_pulse(
+            order=config.pulse_order,
+            bandwidth_hz=config.pulse_bandwidth_hz,
+            sample_rate_hz=config.simulation_rate_hz)
+        super().__init__(config, pulse)
+        self.adc = TimeInterleavedADC.uniform(
+            num_slices=config.adc_interleave_factor,
+            bits=config.adc_bits,
+            aggregate_rate_hz=config.adc_rate_hz,
+            full_scale=1.0,
+            gain_mismatch_std=config.adc_gain_mismatch_std,
+            offset_mismatch_std=config.adc_offset_mismatch_std,
+            timing_skew_std_s=config.adc_timing_skew_std_s,
+            rng=rng)
+
+    def _digitize(self, analog_adc_rate, rng) -> np.ndarray:
+        return self.adc.convert_presampled(np.real(analog_adc_rate))
+
+
+class Gen2Receiver(_PulsedReceiver):
+    """Gen-2 receiver: direct-conversion I/Q into two 5-bit SAR ADCs."""
+
+    def __init__(self, config: Gen2Config | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        config = config if config is not None else Gen2Config()
+        base = gaussian_pulse(bandwidth_hz=config.pulse_bandwidth_hz,
+                              sample_rate_hz=config.simulation_rate_hz)
+        pulse = Pulse(base.waveform.astype(complex), base.sample_rate_hz,
+                      name="gen2_envelope")
+        super().__init__(config, pulse)
+        self.adc = QuadratureSARADC.matched_pair(
+            bits=config.adc_bits,
+            full_scale=1.0,
+            sample_rate_hz=config.adc_rate_hz,
+            capacitor_mismatch_std=config.adc_capacitor_mismatch_std,
+            comparator_noise_std=config.adc_comparator_noise_std,
+            rng=rng)
+
+    def _digitize(self, analog_adc_rate, rng) -> np.ndarray:
+        return self.adc.convert(np.asarray(analog_adc_rate, dtype=complex),
+                                rng=rng)

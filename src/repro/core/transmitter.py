@@ -1,0 +1,186 @@
+"""Transmitters for both transceiver generations.
+
+A transmitter maps payload bits to a sampled waveform:
+
+``payload bits -> packet (preamble chips + body bits) -> pulse train``
+
+The preamble chips and the body symbols both ride on the same prototype
+pulse; the preamble sends one pulse per chip, the body sends
+``pulses_per_bit`` identical pulses per (BPSK) bit — the "Pulses per bit"
+knob of Fig. 3 that trades data rate for energy per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_BAND_PLAN
+from repro.core.config import Gen1Config, Gen2Config
+from repro.phy.packet import Packet, PacketBuilder
+from repro.pulses.modulation import BPSKModulator
+from repro.pulses.shapes import (
+    Pulse,
+    gaussian_derivative_pulse,
+    gaussian_pulse,
+)
+from repro.pulses.train import PulseTrainConfig, PulseTrainGenerator
+from repro.utils import dsp
+
+__all__ = ["TransmitOutput", "Gen1Transmitter", "Gen2Transmitter"]
+
+
+@dataclass(frozen=True)
+class TransmitOutput:
+    """Everything a link simulation needs to know about one transmission."""
+
+    waveform: np.ndarray
+    sample_rate_hz: float
+    packet: Packet
+    pulse: Pulse
+    preamble_start_sample: int
+    body_start_sample: int
+    num_body_symbols: int
+    samples_per_symbol: int
+    samples_per_chip: int
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.waveform.size)
+
+    @property
+    def duration_s(self) -> float:
+        return self.num_samples / self.sample_rate_hz
+
+    def energy_per_body_bit(self) -> float:
+        """Average transmitted energy per body (channel) bit."""
+        body = self.waveform[self.body_start_sample:
+                             self.body_start_sample
+                             + self.num_body_symbols * self.samples_per_symbol]
+        num_bits = max(self.packet.body_bits.size, 1)
+        return dsp.signal_energy(body) / num_bits
+
+
+class _PulsedTransmitter:
+    """Shared machinery of both generations (they differ only in the pulse)."""
+
+    def __init__(self, config, pulse: Pulse) -> None:
+        self.config = config
+        self.pulse = pulse
+        self.builder = PacketBuilder(config.packet)
+        self.modulator = BPSKModulator()
+        self._chip_train_config = PulseTrainConfig(
+            pulse_repetition_interval_s=config.pulse_repetition_interval_s,
+            pulses_per_symbol=1)
+        self._bit_train_config = PulseTrainConfig(
+            pulse_repetition_interval_s=config.pulse_repetition_interval_s,
+            pulses_per_symbol=config.pulses_per_bit)
+        self._chip_generator = PulseTrainGenerator(
+            pulse, self._chip_train_config, self.modulator)
+        self._bit_generator = PulseTrainGenerator(
+            pulse, self._bit_train_config, self.modulator)
+
+    @property
+    def samples_per_chip(self) -> int:
+        """Simulation-rate samples per preamble chip."""
+        return self._chip_generator.samples_per_pulse_interval
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Simulation-rate samples per body bit."""
+        return self._bit_generator.samples_per_symbol
+
+    def transmit(self, payload_bits, lead_in_s: float = 0.0,
+                 lead_out_s: float = 0.0,
+                 amplitude: float = 1.0) -> TransmitOutput:
+        """Build the transmit waveform for one packet.
+
+        ``lead_in_s``/``lead_out_s`` pad the waveform with silence before
+        and after the packet (the receiver does not know where the packet
+        starts — that is acquisition's job).
+        """
+        packet = self.builder.build(payload_bits)
+        preamble_train = self._chip_generator.generate_from_symbols(
+            packet.preamble_symbols)
+        body_symbols = self.modulator.modulate(packet.body_bits)
+        body_train = self._bit_generator.generate_from_symbols(body_symbols)
+
+        sample_rate = self.pulse.sample_rate_hz
+        lead_in = int(round(lead_in_s * sample_rate))
+        lead_out = int(round(lead_out_s * sample_rate))
+        is_complex = np.iscomplexobj(self.pulse.waveform)
+        dtype = complex if is_complex else float
+        waveform = np.concatenate((
+            np.zeros(lead_in, dtype=dtype),
+            preamble_train.waveform.astype(dtype),
+            body_train.waveform.astype(dtype),
+            np.zeros(lead_out, dtype=dtype),
+        )) * amplitude
+
+        return TransmitOutput(
+            waveform=waveform,
+            sample_rate_hz=sample_rate,
+            packet=packet,
+            pulse=self.pulse,
+            preamble_start_sample=lead_in,
+            body_start_sample=lead_in + preamble_train.waveform.size,
+            num_body_symbols=int(body_symbols.size),
+            samples_per_symbol=self.samples_per_symbol,
+            samples_per_chip=self.samples_per_chip,
+        )
+
+
+class Gen1Transmitter(_PulsedTransmitter):
+    """Carrier-free baseband pulse transmitter (gen 1).
+
+    The pulse is a Gaussian derivative ("monocycle" by default) whose
+    spectrum sits below ~1 GHz, matching the baseband chip that needs no
+    up-conversion.
+    """
+
+    def __init__(self, config: Gen1Config | None = None) -> None:
+        config = config if config is not None else Gen1Config()
+        pulse = gaussian_derivative_pulse(
+            order=config.pulse_order,
+            bandwidth_hz=config.pulse_bandwidth_hz,
+            sample_rate_hz=config.simulation_rate_hz)
+        super().__init__(config, pulse)
+
+
+class Gen2Transmitter(_PulsedTransmitter):
+    """Complex-baseband transmitter for the 3.1-10.6 GHz system (gen 2).
+
+    The waveform is the 500 MHz-bandwidth complex envelope; the sub-band
+    centre frequency lives in ``config.channel_index`` and is applied by the
+    RF models (synthesizer / FCC analysis), not baked into the samples.
+    """
+
+    def __init__(self, config: Gen2Config | None = None) -> None:
+        config = config if config is not None else Gen2Config()
+        base = gaussian_pulse(bandwidth_hz=config.pulse_bandwidth_hz,
+                              sample_rate_hz=config.simulation_rate_hz)
+        pulse = Pulse(base.waveform.astype(complex),
+                      base.sample_rate_hz, name="gen2_envelope")
+        super().__init__(config, pulse)
+
+    def carrier_frequency_hz(self) -> float:
+        """Centre frequency of the configured sub-band."""
+        return DEFAULT_BAND_PLAN.center_frequency(self.config.channel_index)
+
+    def passband_waveform(self, output: TransmitOutput) -> np.ndarray:
+        """Up-convert a transmit output to a real passband waveform.
+
+        Only used by the RF-level benchmarks (FCC mask, Fig. 4 style
+        waveforms); link simulations stay at complex baseband.  The
+        returned waveform is sampled at a rate high enough for the carrier.
+        """
+        carrier = self.carrier_frequency_hz()
+        passband_rate = 4.0 * (carrier + self.config.pulse_bandwidth_hz)
+        upsample = int(np.ceil(passband_rate / output.sample_rate_hz))
+        passband_rate = output.sample_rate_hz * upsample
+        envelope = np.repeat(output.waveform, upsample)
+        envelope = dsp.lowpass_filter(envelope,
+                                      self.config.pulse_bandwidth_hz,
+                                      passband_rate)
+        return dsp.upconvert(envelope, carrier, passband_rate)

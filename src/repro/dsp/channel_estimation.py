@@ -1,0 +1,193 @@
+"""Preamble-based channel impulse-response estimation.
+
+"In order to cope with the multipath, the channel impulse response is
+estimated with a precision of up to four bits during the packet preamble.
+This information is used in a RAKE receiver and in a Viterbi demodulator."
+
+The estimator correlates the received preamble against the known spreading
+sequence; because m-sequences have an (almost) impulsive periodic
+autocorrelation, the correlation directly reads out the composite channel
+impulse response (physical channel + antenna + front end).  The estimate is
+then quantized to the configured precision (the paper's 4 bits), which is
+what the silicon stores and what the RAKE/Viterbi actually use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.fixed_point import FixedPointFormat
+from repro.utils.validation import require_int
+
+__all__ = ["ChannelEstimate", "ChannelEstimator"]
+
+
+@dataclass(frozen=True)
+class ChannelEstimate:
+    """A (possibly quantized) estimate of the composite channel response.
+
+    ``taps`` are complex (or real) channel coefficients on the receiver's
+    sample grid, starting at the coarse-timing instant.
+    """
+
+    taps: np.ndarray
+    sample_rate_hz: float
+    quantization_bits: int | None
+
+    @property
+    def num_taps(self) -> int:
+        return int(self.taps.size)
+
+    def strongest_taps(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, values)`` of the ``count`` strongest taps."""
+        require_int(count, "count", minimum=1)
+        count = min(count, self.num_taps)
+        order = np.argsort(np.abs(self.taps))[::-1][:count]
+        order = np.sort(order)
+        return order, self.taps[order]
+
+    def energy_capture(self, count: int) -> float:
+        """Fraction of estimated channel energy in the ``count`` strongest taps."""
+        total = float(np.sum(np.abs(self.taps) ** 2))
+        if total <= 0:
+            return 0.0
+        _, values = self.strongest_taps(count)
+        return float(np.sum(np.abs(values) ** 2) / total)
+
+    def rms_delay_spread_s(self) -> float:
+        """RMS delay spread implied by the estimated power-delay profile."""
+        powers = np.abs(self.taps) ** 2
+        total = np.sum(powers)
+        if total <= 0:
+            return 0.0
+        delays = np.arange(self.num_taps) / self.sample_rate_hz
+        mean = np.sum(powers * delays) / total
+        second = np.sum(powers * delays ** 2) / total
+        return float(np.sqrt(max(second - mean ** 2, 0.0)))
+
+
+class ChannelEstimator:
+    """Correlation-based channel sounder using the packet preamble.
+
+    Parameters
+    ----------
+    preamble_symbols:
+        The known +-1 chip sequence of ONE repetition of the preamble.
+    samples_per_symbol:
+        Receiver samples per preamble chip.
+    pulse_template:
+        The (sampled) transmit pulse shape, used to collapse the pulse
+        energy so the estimate approximates the propagation channel rather
+        than channel*pulse.  Pass ``None`` to estimate the full composite
+        response including the pulse.
+    num_taps:
+        Length of the estimated impulse response, in samples.
+    quantization_bits:
+        Precision of the stored estimate (the paper uses up to 4); ``None``
+        keeps the estimate at full precision.
+    """
+
+    def __init__(self, preamble_symbols, samples_per_symbol: int,
+                 pulse_template=None, num_taps: int = 64,
+                 quantization_bits: int | None = 4) -> None:
+        self.preamble_symbols = np.asarray(preamble_symbols, dtype=float)
+        if self.preamble_symbols.size == 0:
+            raise ValueError("preamble_symbols must not be empty")
+        self.samples_per_symbol = require_int(samples_per_symbol,
+                                              "samples_per_symbol", minimum=1)
+        self.pulse_template = (np.asarray(pulse_template)
+                               if pulse_template is not None else None)
+        self.num_taps = require_int(num_taps, "num_taps", minimum=1)
+        if quantization_bits is not None:
+            require_int(quantization_bits, "quantization_bits", minimum=1)
+        self.quantization_bits = quantization_bits
+
+    def _reference_waveform(self) -> np.ndarray:
+        """The known transmitted preamble waveform on the sample grid."""
+        upsampled = np.zeros(self.preamble_symbols.size * self.samples_per_symbol)
+        upsampled[::self.samples_per_symbol] = self.preamble_symbols
+        if self.pulse_template is not None:
+            upsampled = np.convolve(upsampled, self.pulse_template, mode="full")
+        return upsampled
+
+    def estimate(self, received_samples, timing_offset_samples: int,
+                 sample_rate_hz: float) -> ChannelEstimate:
+        """Estimate the channel from the received preamble portion.
+
+        ``timing_offset_samples`` is the coarse-acquisition timing (where
+        the preamble starts in ``received_samples``).
+        """
+        received_samples = np.asarray(received_samples)
+        require_int(timing_offset_samples, "timing_offset_samples", minimum=0)
+        reference = self._reference_waveform()
+        needed = reference.size + self.num_taps
+        segment = received_samples[timing_offset_samples:
+                                   timing_offset_samples + needed]
+        if segment.size < reference.size:
+            raise ValueError("not enough received samples to cover the preamble")
+
+        # Cross-correlate: tap[d] = sum_n r[n + d] * conj(ref[n]) / ||ref||^2.
+        reference_energy = float(np.sum(np.abs(reference) ** 2))
+        reference_conj = np.conj(reference)
+        taps = np.zeros(self.num_taps,
+                        dtype=complex if np.iscomplexobj(segment) else float)
+        available = segment.size - reference.size + 1
+        usable_taps = min(self.num_taps, max(available, 0))
+        for delay in range(usable_taps):
+            window = segment[delay:delay + reference.size]
+            taps[delay] = np.sum(window * reference_conj) / reference_energy
+
+        if self.quantization_bits is not None:
+            peak = float(np.max(np.abs(taps))) if taps.size else 0.0
+            if peak > 0:
+                fmt = FixedPointFormat(total_bits=self.quantization_bits,
+                                       full_scale=peak * 1.001)
+                taps = fmt.quantize(taps)
+        return ChannelEstimate(taps=taps, sample_rate_hz=sample_rate_hz,
+                               quantization_bits=self.quantization_bits)
+
+    def estimate_averaged(self, received_samples, timing_offset_samples: int,
+                          sample_rate_hz: float,
+                          num_repetitions: int) -> ChannelEstimate:
+        """Average the estimate over several preamble repetitions.
+
+        Each repetition occupies ``len(preamble) * samples_per_symbol``
+        samples; averaging improves the estimate SNR by the repetition count
+        (the reason the preamble repeats its base sequence).
+        """
+        require_int(num_repetitions, "num_repetitions", minimum=1)
+        repetition_length = self.preamble_symbols.size * self.samples_per_symbol
+        accumulated = None
+        used = 0
+        for rep in range(num_repetitions):
+            offset = timing_offset_samples + rep * repetition_length
+            try:
+                estimate = self._estimate_unquantized(received_samples, offset)
+            except ValueError:
+                break
+            accumulated = estimate if accumulated is None else accumulated + estimate
+            used += 1
+        if accumulated is None or used == 0:
+            raise ValueError("not enough samples for even one repetition")
+        taps = accumulated / used
+        if self.quantization_bits is not None:
+            peak = float(np.max(np.abs(taps))) if taps.size else 0.0
+            if peak > 0:
+                fmt = FixedPointFormat(total_bits=self.quantization_bits,
+                                       full_scale=peak * 1.001)
+                taps = fmt.quantize(taps)
+        return ChannelEstimate(taps=taps, sample_rate_hz=sample_rate_hz,
+                               quantization_bits=self.quantization_bits)
+
+    def _estimate_unquantized(self, received_samples,
+                              timing_offset_samples: int) -> np.ndarray:
+        saved = self.quantization_bits
+        self.quantization_bits = None
+        try:
+            estimate = self.estimate(received_samples, timing_offset_samples,
+                                     sample_rate_hz=1.0)
+        finally:
+            self.quantization_bits = saved
+        return estimate.taps

@@ -1,0 +1,121 @@
+"""Digital adaptive notch filter.
+
+Complement of the analog RF notch: once the spectral monitor has estimated
+the interferer frequency, the back end can also (or instead) remove the
+interferer digitally with an adaptive complex notch.  Two flavours:
+
+* :class:`DigitalNotchFilter` — a fixed-coefficient complex one-pole notch
+  placed at the estimated frequency.
+* :class:`AdaptiveNotchCanceller` — an LMS canceller that regresses the
+  received samples onto a locally generated complex exponential at the
+  estimated frequency and subtracts the fit, which tolerates small
+  frequency-estimation errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = ["DigitalNotchFilter", "AdaptiveNotchCanceller"]
+
+
+@dataclass
+class DigitalNotchFilter:
+    """Complex single-notch IIR: ``H(z) = (1 - e^{j w0} z^-1) / (1 - r e^{j w0} z^-1)``.
+
+    ``pole_radius`` (r) close to 1 gives a narrow notch.
+    """
+
+    notch_frequency_hz: float
+    sample_rate_hz: float
+    pole_radius: float = 0.995
+
+    def __post_init__(self) -> None:
+        require_positive(self.sample_rate_hz, "sample_rate_hz")
+        if not 0.0 < self.pole_radius < 1.0:
+            raise ValueError("pole_radius must be in (0, 1)")
+
+    @property
+    def normalized_frequency_rad(self) -> float:
+        """Notch frequency in radians/sample."""
+        return 2.0 * np.pi * self.notch_frequency_hz / self.sample_rate_hz
+
+    def apply(self, samples) -> np.ndarray:
+        """Filter complex (or real) samples through the notch."""
+        samples = np.asarray(samples, dtype=complex)
+        w0 = self.normalized_frequency_rad
+        zero = np.exp(1j * w0)
+        pole = self.pole_radius * zero
+        out = np.zeros_like(samples)
+        prev_in = 0.0 + 0.0j
+        prev_out = 0.0 + 0.0j
+        for n, x in enumerate(samples):
+            y = x - zero * prev_in + pole * prev_out
+            out[n] = y
+            prev_in = x
+            prev_out = y
+        return out
+
+    def rejection_at_db(self, frequency_hz: float) -> float:
+        """Attenuation (positive dB) at ``frequency_hz``."""
+        w = 2.0 * np.pi * frequency_hz / self.sample_rate_hz
+        z = np.exp(1j * w)
+        w0 = self.normalized_frequency_rad
+        numerator = 1.0 - np.exp(1j * w0) / z
+        denominator = 1.0 - self.pole_radius * np.exp(1j * w0) / z
+        magnitude = abs(numerator / denominator)
+        if magnitude <= 0:
+            return float("inf")
+        return float(-20.0 * np.log10(magnitude))
+
+
+@dataclass
+class AdaptiveNotchCanceller:
+    """LMS interference canceller referenced to a local complex exponential.
+
+    The canceller synthesizes ``e^{j 2 pi f_est t}``, adapts a single complex
+    weight so the reference matches the interferer component of the input,
+    and subtracts it.  Convergence takes a few hundred samples at the
+    default step size.
+    """
+
+    interferer_frequency_hz: float
+    sample_rate_hz: float
+    step_size: float = 0.01
+
+    def __post_init__(self) -> None:
+        require_positive(self.sample_rate_hz, "sample_rate_hz")
+        require_positive(self.step_size, "step_size")
+
+    def cancel(self, samples) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(cleaned, weight_trajectory)``."""
+        samples = np.asarray(samples, dtype=complex)
+        n = np.arange(samples.size)
+        reference = np.exp(1j * 2.0 * np.pi * self.interferer_frequency_hz
+                           * n / self.sample_rate_hz)
+        weight = 0.0 + 0.0j
+        cleaned = np.zeros_like(samples)
+        weights = np.zeros(samples.size, dtype=complex)
+        # Normalize the step by the (unit) reference power for stability.
+        mu = self.step_size
+        for i in range(samples.size):
+            estimate = weight * reference[i]
+            error = samples[i] - estimate
+            cleaned[i] = error
+            weight = weight + mu * error * np.conj(reference[i])
+            weights[i] = weight
+        return cleaned, weights
+
+    def steady_state_rejection_db(self, samples) -> float:
+        """Measured interferer-power reduction over the second half of the buffer."""
+        cleaned, _ = self.cancel(samples)
+        half = samples.size // 2
+        before = float(np.mean(np.abs(np.asarray(samples)[half:]) ** 2))
+        after = float(np.mean(np.abs(cleaned[half:]) ** 2))
+        if after <= 0:
+            return float("inf")
+        return float(10.0 * np.log10(before / after))

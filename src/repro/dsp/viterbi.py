@@ -1,0 +1,186 @@
+"""Viterbi demodulator (MLSE equalizer) for inter-symbol interference.
+
+"The inter-symbol interference (ISI) due to multipath can be addressed with
+a Viterbi demodulator."  When the channel's delay spread exceeds the symbol
+period, the RAKE's per-symbol statistics are corrupted by neighbouring
+symbols.  The maximum-likelihood sequence estimator (MLSE) runs a Viterbi
+search over the symbol alphabet with the symbol-spaced equivalent channel as
+its trellis, which is exactly the programmable Viterbi machine in the gen-2
+back end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.channel_estimation import ChannelEstimate
+from repro.utils.validation import require_int
+
+__all__ = ["MLSEEqualizer", "symbol_spaced_channel", "rake_isi_taps"]
+
+
+def rake_isi_taps(channel_estimate: ChannelEstimate,
+                  finger_delays, finger_weights,
+                  symbol_period_samples: int,
+                  max_symbol_taps: int = 4) -> np.ndarray:
+    """Symbol-spaced ISI taps as seen at the output of a RAKE combiner.
+
+    The RAKE statistic for symbol ``k`` is (up to a common scale)
+    ``sum_f conj(w_f) * sum_j a_j * h[d_f + (k - j) T]``, so the normalized
+    postcursor ISI coefficients are
+
+    ``g_l = sum_f conj(w_f) h[d_f + l T] / sum_f conj(w_f) h[d_f]``.
+
+    ``g_0`` is 1 by construction; the returned vector ``[g_0, g_1, ...]``
+    feeds :class:`MLSEEqualizer` directly.  Precursor terms are neglected
+    (the timing reference is the strongest path, so energy arriving before
+    it is small by construction).
+    """
+    require_int(symbol_period_samples, "symbol_period_samples", minimum=1)
+    require_int(max_symbol_taps, "max_symbol_taps", minimum=1)
+    finger_delays = np.asarray(finger_delays, dtype=np.int64).ravel()
+    finger_weights = np.asarray(finger_weights).ravel()
+    if finger_delays.size != finger_weights.size:
+        raise ValueError("finger_delays and finger_weights must match")
+    h = channel_estimate.taps
+    taps = np.zeros(max_symbol_taps, dtype=complex)
+    for l in range(max_symbol_taps):
+        total = 0.0 + 0.0j
+        for delay, weight in zip(finger_delays, finger_weights):
+            index = delay + l * symbol_period_samples
+            if 0 <= index < h.size:
+                total += np.conj(weight) * h[index]
+        taps[l] = total
+    if abs(taps[0]) <= 0:
+        return np.array([1.0 + 0.0j])
+    taps = taps / taps[0]
+    # Drop trailing taps that carry no meaningful energy.
+    keep = max_symbol_taps
+    while keep > 1 and abs(taps[keep - 1]) < 0.05:
+        keep -= 1
+    return taps[:keep]
+
+
+def symbol_spaced_channel(channel_estimate: ChannelEstimate,
+                          symbol_period_samples: int,
+                          max_symbol_taps: int = 4) -> np.ndarray:
+    """Collapse a sample-spaced channel estimate to symbol-spaced ISI taps.
+
+    Tap ``l`` is the correlation mass of the channel estimate in the window
+    ``[l*T, (l+1)*T)`` (T = symbol period in samples).  The result drives
+    the MLSE trellis: ``max_symbol_taps`` of memory covers a delay spread of
+    ``max_symbol_taps`` symbol periods.
+    """
+    require_int(symbol_period_samples, "symbol_period_samples", minimum=1)
+    require_int(max_symbol_taps, "max_symbol_taps", minimum=1)
+    taps = channel_estimate.taps
+    num_symbol_taps = min(
+        max_symbol_taps,
+        int(np.ceil(taps.size / symbol_period_samples)))
+    collapsed = np.zeros(num_symbol_taps, dtype=complex)
+    for l in range(num_symbol_taps):
+        window = taps[l * symbol_period_samples:(l + 1) * symbol_period_samples]
+        collapsed[l] = np.sum(np.abs(window) ** 2)
+    # Normalize so the main tap has unit weight (statistics are scaled by
+    # the RAKE which already applies the channel magnitude).
+    peak = np.max(np.abs(collapsed))
+    if peak > 0:
+        collapsed = collapsed / peak
+    return collapsed
+
+
+class MLSEEqualizer:
+    """Viterbi sequence detector over a symbol-spaced ISI channel.
+
+    Parameters
+    ----------
+    isi_taps:
+        Symbol-spaced channel taps ``h[0..L-1]`` (h[0] is the desired
+        symbol's weight).  The trellis has ``len(alphabet)^(L-1)`` states.
+    alphabet:
+        The symbol alphabet (e.g. ``(-1.0, +1.0)`` for BPSK).
+    """
+
+    def __init__(self, isi_taps, alphabet=(-1.0, 1.0)) -> None:
+        self.isi_taps = np.asarray(isi_taps, dtype=complex).ravel()
+        if self.isi_taps.size == 0:
+            raise ValueError("isi_taps must not be empty")
+        self.alphabet = tuple(complex(a) for a in alphabet)
+        if len(self.alphabet) < 2:
+            raise ValueError("alphabet needs at least two symbols")
+        self.memory = self.isi_taps.size - 1
+        self.num_states = len(self.alphabet) ** self.memory
+        if self.num_states > 4096:
+            raise ValueError(
+                "trellis too large; reduce ISI taps or alphabet size")
+
+    def _state_symbols(self, state: int) -> list[complex]:
+        """Decode a state index into the last ``memory`` symbols (newest first)."""
+        symbols = []
+        m = len(self.alphabet)
+        for _ in range(self.memory):
+            symbols.append(self.alphabet[state % m])
+            state //= m
+        return symbols
+
+    def _next_state(self, state: int, symbol_index: int) -> int:
+        """State after emitting ``symbol_index`` (newest symbol in low digit)."""
+        m = len(self.alphabet)
+        if self.memory == 0:
+            return 0
+        return (state * m + symbol_index) % (m ** self.memory)
+
+    def _expected(self, state: int, symbol: complex) -> complex:
+        """Expected noiseless statistic for (state, new symbol)."""
+        value = self.isi_taps[0] * symbol
+        previous = self._state_symbols(state)
+        for tap_index in range(1, self.isi_taps.size):
+            value += self.isi_taps[tap_index] * previous[tap_index - 1]
+        return value
+
+    def equalize(self, statistics) -> np.ndarray:
+        """Return the maximum-likelihood symbol sequence for the statistics.
+
+        ``statistics`` are the per-symbol RAKE (or matched-filter) outputs,
+        already scaled so a noiseless isolated symbol ``a`` produces
+        approximately ``a`` (the library's receivers normalize by the
+        template and channel energy).
+        """
+        statistics = np.asarray(statistics, dtype=complex).ravel()
+        num_symbols = statistics.size
+        if num_symbols == 0:
+            return np.zeros(0, dtype=complex)
+
+        metrics = np.full(self.num_states, np.inf)
+        metrics[0] = 0.0
+        survivors = np.zeros((num_symbols, self.num_states, 2), dtype=np.int64)
+
+        for t in range(num_symbols):
+            new_metrics = np.full(self.num_states, np.inf)
+            new_survivors = np.zeros((self.num_states, 2), dtype=np.int64)
+            for state in range(self.num_states):
+                if not np.isfinite(metrics[state]):
+                    continue
+                for symbol_index, symbol in enumerate(self.alphabet):
+                    expected = self._expected(state, symbol)
+                    branch = abs(statistics[t] - expected) ** 2
+                    candidate = metrics[state] + branch
+                    nxt = self._next_state(state, symbol_index)
+                    if candidate < new_metrics[nxt]:
+                        new_metrics[nxt] = candidate
+                        new_survivors[nxt] = (state, symbol_index)
+            metrics = new_metrics
+            survivors[t] = new_survivors
+
+        state = int(np.argmin(metrics))
+        decided = np.zeros(num_symbols, dtype=complex)
+        for t in range(num_symbols - 1, -1, -1):
+            prev_state, symbol_index = survivors[t, state]
+            decided[t] = self.alphabet[symbol_index]
+            state = int(prev_state)
+        return decided
+
+    def equalize_to_bits(self, statistics) -> np.ndarray:
+        """Equalize and map the BPSK alphabet back to bits (+1 -> 1, -1 -> 0)."""
+        symbols = self.equalize(statistics)
+        return (np.real(symbols) > 0).astype(np.int64)

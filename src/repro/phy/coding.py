@@ -1,0 +1,172 @@
+"""Convolutional channel coding and Viterbi decoding.
+
+The gen-2 digital back end contains a Viterbi machine.  The paper uses it
+both as a channel-code decoder and (with the channel estimate) as an MLSE
+demodulator for ISI; this module provides the coding-side machinery — a
+rate-1/n feedforward convolutional encoder and a soft/hard-decision Viterbi
+decoder.  The MLSE equalizer lives in ``repro.dsp.viterbi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_int
+
+__all__ = ["ConvolutionalCode", "ViterbiDecoder", "K3_RATE_HALF", "K7_RATE_HALF"]
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """A rate-1/n feedforward convolutional code.
+
+    Attributes
+    ----------
+    constraint_length:
+        Number of input bits that influence each output (K).
+    generators:
+        Generator polynomials in octal-like integer form, MSB = current bit.
+    """
+
+    constraint_length: int
+    generators: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require_int(self.constraint_length, "constraint_length", minimum=2)
+        if len(self.generators) < 2:
+            raise ValueError("need at least two generator polynomials")
+        limit = 1 << self.constraint_length
+        for gen in self.generators:
+            if not 0 < gen < limit:
+                raise ValueError(
+                    f"generator {gen:o} (octal) does not fit constraint length "
+                    f"{self.constraint_length}")
+
+    @property
+    def rate_inverse(self) -> int:
+        """Number of coded bits per information bit."""
+        return len(self.generators)
+
+    @property
+    def num_states(self) -> int:
+        """Number of trellis states, ``2^(K-1)``."""
+        return 1 << (self.constraint_length - 1)
+
+    def encode(self, bits, terminate: bool = True) -> np.ndarray:
+        """Encode a bit array; optionally append ``K-1`` zero tail bits."""
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("bits must contain only 0 and 1")
+        if terminate:
+            bits = np.concatenate((bits,
+                                   np.zeros(self.constraint_length - 1,
+                                            dtype=np.int64)))
+        state = 0
+        coded = np.zeros(bits.size * self.rate_inverse, dtype=np.int64)
+        for i, bit in enumerate(bits):
+            register = (int(bit) << (self.constraint_length - 1)) | state
+            for j, gen in enumerate(self.generators):
+                coded[i * self.rate_inverse + j] = bin(register & gen).count("1") % 2
+            state = register >> 1
+        return coded
+
+    def output_bits(self, state: int, input_bit: int) -> np.ndarray:
+        """Coded output for one trellis transition."""
+        register = (input_bit << (self.constraint_length - 1)) | state
+        return np.array([bin(register & gen).count("1") % 2
+                         for gen in self.generators], dtype=np.int64)
+
+    def next_state(self, state: int, input_bit: int) -> int:
+        """Trellis state after consuming ``input_bit``."""
+        register = (input_bit << (self.constraint_length - 1)) | state
+        return register >> 1
+
+
+#: Industry-standard K=3 (7,5) and K=7 (171,133) rate-1/2 codes.
+K3_RATE_HALF = ConvolutionalCode(constraint_length=3, generators=(0b111, 0b101))
+K7_RATE_HALF = ConvolutionalCode(constraint_length=7,
+                                 generators=(0o171, 0o133))
+
+
+class ViterbiDecoder:
+    """Viterbi decoder for a :class:`ConvolutionalCode`.
+
+    Supports hard decisions (Hamming branch metrics over 0/1 inputs) and
+    soft decisions (Euclidean metrics over bipolar reliabilities, where the
+    transmitted coded bit ``b`` maps to ``2b - 1``).
+    """
+
+    def __init__(self, code: ConvolutionalCode) -> None:
+        self.code = code
+        num_states = code.num_states
+        n = code.rate_inverse
+        self._outputs = np.zeros((num_states, 2, n), dtype=np.int64)
+        self._next_states = np.zeros((num_states, 2), dtype=np.int64)
+        for state in range(num_states):
+            for bit in (0, 1):
+                self._outputs[state, bit] = code.output_bits(state, bit)
+                self._next_states[state, bit] = code.next_state(state, bit)
+
+    def decode(self, received, soft: bool = False,
+               terminated: bool = True) -> np.ndarray:
+        """Decode a received coded stream back to information bits.
+
+        ``received`` has length ``n * num_steps``; hard input is 0/1, soft
+        input is real-valued with positive meaning "more likely 1".  When
+        the encoder appended tail bits (``terminated``), they are stripped
+        from the decoded output.
+        """
+        received = np.asarray(received, dtype=float).ravel()
+        n = self.code.rate_inverse
+        if received.size % n != 0:
+            raise ValueError(
+                f"received length {received.size} is not a multiple of {n}")
+        num_steps = received.size // n
+        num_states = self.code.num_states
+
+        metrics = np.full(num_states, np.inf)
+        metrics[0] = 0.0
+        # survivors[t, s] = (previous state, input bit) leading to state s.
+        survivors = np.zeros((num_steps, num_states, 2), dtype=np.int64)
+
+        expected_bipolar = 2.0 * self._outputs - 1.0
+        for t in range(num_steps):
+            segment = received[t * n:(t + 1) * n]
+            new_metrics = np.full(num_states, np.inf)
+            new_survivors = np.zeros((num_states, 2), dtype=np.int64)
+            for state in range(num_states):
+                if not np.isfinite(metrics[state]):
+                    continue
+                for bit in (0, 1):
+                    if soft:
+                        branch = float(np.sum(
+                            (segment - expected_bipolar[state, bit]) ** 2))
+                    else:
+                        branch = float(np.sum(
+                            np.abs(segment - self._outputs[state, bit])))
+                    candidate = metrics[state] + branch
+                    nxt = self._next_states[state, bit]
+                    if candidate < new_metrics[nxt]:
+                        new_metrics[nxt] = candidate
+                        new_survivors[nxt] = (state, bit)
+            metrics = new_metrics
+            survivors[t] = new_survivors
+
+        # Trace back from the best end state (state 0 if terminated).
+        if terminated and np.isfinite(metrics[0]):
+            state = 0
+        else:
+            state = int(np.argmin(metrics))
+        decoded = np.zeros(num_steps, dtype=np.int64)
+        for t in range(num_steps - 1, -1, -1):
+            prev_state, bit = survivors[t, state]
+            decoded[t] = bit
+            state = int(prev_state)
+
+        if terminated:
+            tail = self.code.constraint_length - 1
+            if decoded.size >= tail:
+                decoded = decoded[:-tail] if tail > 0 else decoded
+        return decoded

@@ -1,0 +1,70 @@
+"""Cyclic redundancy checks for packet integrity.
+
+Both chips need to declare whether a decoded packet is correct; the standard
+way is a CRC over the payload.  CRC-16-CCITT and CRC-32 are provided, both
+implemented bit-serially over 0/1 numpy arrays so they plug directly into
+the PHY bit pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bits import int_to_bits
+
+__all__ = ["CRC", "CRC16_CCITT", "CRC32", "append_crc", "check_crc"]
+
+
+@dataclass(frozen=True)
+class CRC:
+    """A CRC defined by its polynomial (without the leading term) and width."""
+
+    width: int
+    polynomial: int
+    initial_value: int
+    final_xor: int = 0
+    name: str = "crc"
+
+    def compute(self, bits) -> int:
+        """Compute the CRC register value over a 0/1 bit array (MSB first)."""
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("bits must contain only 0 and 1")
+        register = self.initial_value
+        top_bit = 1 << (self.width - 1)
+        mask = (1 << self.width) - 1
+        for bit in bits:
+            incoming = int(bit) ^ ((register >> (self.width - 1)) & 1)
+            register = ((register << 1) & mask)
+            if incoming:
+                register ^= self.polynomial
+        return (register ^ self.final_xor) & mask
+
+    def compute_bits(self, bits) -> np.ndarray:
+        """CRC value expressed as a bit array of length ``width``."""
+        return int_to_bits(self.compute(bits), self.width)
+
+
+CRC16_CCITT = CRC(width=16, polynomial=0x1021, initial_value=0xFFFF,
+                  final_xor=0x0000, name="crc16_ccitt")
+CRC32 = CRC(width=32, polynomial=0x04C11DB7, initial_value=0xFFFFFFFF,
+            final_xor=0xFFFFFFFF, name="crc32")
+
+
+def append_crc(bits, crc: CRC = CRC16_CCITT) -> np.ndarray:
+    """Return ``bits`` with the CRC bits appended."""
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    return np.concatenate((bits, crc.compute_bits(bits)))
+
+
+def check_crc(bits_with_crc, crc: CRC = CRC16_CCITT) -> bool:
+    """Verify a bit array whose tail is the CRC computed by :func:`append_crc`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.int64).ravel()
+    if bits_with_crc.size < crc.width:
+        return False
+    payload = bits_with_crc[:-crc.width]
+    received = bits_with_crc[-crc.width:]
+    expected = crc.compute_bits(payload)
+    return bool(np.array_equal(received, expected))

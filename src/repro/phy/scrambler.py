@@ -1,0 +1,64 @@
+"""Data scrambler/descrambler.
+
+Whitening the payload keeps the transmitted pulse polarities balanced, which
+both flattens the transmit spectrum (discrete spectral lines are what break
+the FCC mask first) and keeps the timing-tracking loops fed with
+transitions.  A synchronous (additive) LFSR scrambler is used so that
+descrambling is the identical operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_int
+
+__all__ = ["Scrambler"]
+
+
+@dataclass
+class Scrambler:
+    """Additive LFSR scrambler ``x^7 + x^4 + 1`` (802.11-style) by default.
+
+    Attributes
+    ----------
+    taps:
+        LFSR feedback taps, 1-indexed stage numbers.
+    seed:
+        Initial register state (non-zero).
+    """
+
+    taps: tuple[int, ...] = (7, 4)
+    seed: int = 0x5B
+
+    def __post_init__(self) -> None:
+        self._degree = max(self.taps)
+        require_int(self._degree, "max(taps)", minimum=2)
+        if self.seed <= 0 or self.seed >= (1 << self._degree):
+            raise ValueError("seed must be a non-zero register state")
+
+    def keystream(self, num_bits: int) -> np.ndarray:
+        """The scrambling sequence itself."""
+        require_int(num_bits, "num_bits", minimum=0)
+        state = self.seed
+        out = np.zeros(num_bits, dtype=np.int64)
+        for i in range(num_bits):
+            feedback = 0
+            for tap in self.taps:
+                feedback ^= (state >> (tap - 1)) & 1
+            out[i] = feedback
+            state = ((state << 1) | feedback) & ((1 << self._degree) - 1)
+        return out
+
+    def scramble(self, bits) -> np.ndarray:
+        """XOR the bits with the keystream (self-inverse)."""
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("bits must contain only 0 and 1")
+        return np.bitwise_xor(bits, self.keystream(bits.size))
+
+    def descramble(self, bits) -> np.ndarray:
+        """Identical to :meth:`scramble` for an additive scrambler."""
+        return self.scramble(bits)

@@ -1,0 +1,23 @@
+"""Power models: per-block estimates and system budgets for both generations."""
+
+from repro.power.budget import PowerBudget, gen1_power_budget, gen2_power_budget
+from repro.power.models import (
+    BlockPower,
+    DigitalBackEndPowerModel,
+    DigitalBlockPower,
+    GATE_ENERGY_018UM_J,
+    RFFrontEndPowerModel,
+    adc_block_power,
+)
+
+__all__ = [
+    "PowerBudget",
+    "gen1_power_budget",
+    "gen2_power_budget",
+    "BlockPower",
+    "DigitalBackEndPowerModel",
+    "DigitalBlockPower",
+    "GATE_ENERGY_018UM_J",
+    "RFFrontEndPowerModel",
+    "adc_block_power",
+]

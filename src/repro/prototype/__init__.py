@@ -1,0 +1,10 @@
+"""Discrete prototype platform and modulation-scheme comparison."""
+
+from repro.prototype.comparison import ModulationComparison, SchemeResult
+from repro.prototype.platform import DiscretePrototypePlatform
+
+__all__ = [
+    "ModulationComparison",
+    "SchemeResult",
+    "DiscretePrototypePlatform",
+]

@@ -1,0 +1,252 @@
+"""Baseband UWB pulse shapes.
+
+The paper's signal is "a sequence of 500 MHz bandwidth pulses".  This module
+provides the standard pulse shapes used in pulsed-UWB systems:
+
+* Gaussian pulse and its derivatives (monocycle, doublet) — the classic
+  carrier-free shapes used by the first-generation baseband transceiver.
+* Root-raised-cosine and rectangular envelopes — used as the 500 MHz
+  baseband envelope that the gen-2 transmitter up-converts to one of the
+  14 sub-bands.
+
+All generators return a :class:`Pulse` carrying the waveform, the sample
+rate, and convenience accessors (energy, duration, effective bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import dsp
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "Pulse",
+    "gaussian_pulse",
+    "gaussian_monocycle",
+    "gaussian_doublet",
+    "gaussian_derivative_pulse",
+    "root_raised_cosine_pulse",
+    "rectangular_pulse",
+    "sinc_pulse",
+    "sigma_for_bandwidth",
+]
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """A finite-duration pulse waveform sampled at ``sample_rate_hz``.
+
+    Attributes
+    ----------
+    waveform:
+        Real or complex samples of the pulse.
+    sample_rate_hz:
+        Sampling rate of ``waveform``.
+    name:
+        Human-readable label used in reports and plots.
+    """
+
+    waveform: np.ndarray
+    sample_rate_hz: float
+    name: str = "pulse"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "waveform", np.asarray(self.waveform))
+        require_positive(self.sample_rate_hz, "sample_rate_hz")
+        if self.waveform.ndim != 1:
+            raise ValueError("waveform must be one-dimensional")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the pulse."""
+        return int(self.waveform.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Pulse duration in seconds."""
+        return self.num_samples / self.sample_rate_hz
+
+    @property
+    def energy(self) -> float:
+        """Discrete energy of the pulse."""
+        return dsp.signal_energy(self.waveform)
+
+    @property
+    def peak_amplitude(self) -> float:
+        """Peak magnitude of the pulse."""
+        if self.num_samples == 0:
+            return 0.0
+        return float(np.max(np.abs(self.waveform)))
+
+    def time_axis(self) -> np.ndarray:
+        """Time stamps of each sample, starting at zero."""
+        return dsp.time_vector(self.num_samples, self.sample_rate_hz)
+
+    def normalized_energy(self, target_energy: float = 1.0) -> "Pulse":
+        """Return a copy scaled to the requested energy."""
+        return Pulse(
+            waveform=dsp.normalize_energy(self.waveform, target_energy),
+            sample_rate_hz=self.sample_rate_hz,
+            name=self.name,
+        )
+
+    def normalized_peak(self, target_peak: float = 1.0) -> "Pulse":
+        """Return a copy scaled to the requested peak amplitude."""
+        return Pulse(
+            waveform=dsp.normalize_peak(self.waveform, target_peak),
+            sample_rate_hz=self.sample_rate_hz,
+            name=self.name,
+        )
+
+    def scaled(self, factor: float) -> "Pulse":
+        """Return a copy multiplied by ``factor``."""
+        return Pulse(
+            waveform=self.waveform * factor,
+            sample_rate_hz=self.sample_rate_hz,
+            name=self.name,
+        )
+
+    def effective_bandwidth_hz(self, power_fraction: float = 0.99) -> float:
+        """Occupied bandwidth containing ``power_fraction`` of the pulse power."""
+        nperseg = min(self.num_samples, 4096)
+        return dsp.occupied_bandwidth(
+            self.waveform, self.sample_rate_hz,
+            power_fraction=power_fraction, nperseg=nperseg,
+        )
+
+
+def sigma_for_bandwidth(bandwidth_hz: float) -> float:
+    """Gaussian sigma (seconds) whose -10 dB two-sided bandwidth is ``bandwidth_hz``.
+
+    A Gaussian pulse exp(-t^2 / (2 sigma^2)) has Fourier transform
+    proportional to exp(-(2 pi f)^2 sigma^2 / 2); the -10 dB (power) point
+    satisfies (2 pi f)^2 sigma^2 = ln(10), so the two-sided -10 dB bandwidth
+    is B = sqrt(ln 10) / (pi sigma).
+    """
+    require_positive(bandwidth_hz, "bandwidth_hz")
+    return float(np.sqrt(np.log(10.0)) / (np.pi * bandwidth_hz))
+
+
+def _symmetric_time(duration_s: float, sample_rate_hz: float) -> np.ndarray:
+    num_samples = max(int(round(duration_s * sample_rate_hz)), 3)
+    if num_samples % 2 == 0:
+        num_samples += 1
+    half = (num_samples - 1) / 2.0
+    return (np.arange(num_samples) - half) / sample_rate_hz
+
+
+def gaussian_pulse(bandwidth_hz: float, sample_rate_hz: float,
+                   truncation_sigmas: float = 4.0,
+                   amplitude: float = 1.0) -> Pulse:
+    """A Gaussian pulse whose -10 dB bandwidth is approximately ``bandwidth_hz``."""
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    require_positive(truncation_sigmas, "truncation_sigmas")
+    sigma = sigma_for_bandwidth(bandwidth_hz)
+    t = _symmetric_time(2.0 * truncation_sigmas * sigma, sample_rate_hz)
+    waveform = amplitude * np.exp(-t ** 2 / (2.0 * sigma ** 2))
+    return Pulse(waveform=waveform, sample_rate_hz=sample_rate_hz,
+                 name="gaussian")
+
+
+def gaussian_derivative_pulse(order: int, bandwidth_hz: float,
+                              sample_rate_hz: float,
+                              truncation_sigmas: float = 4.0,
+                              amplitude: float = 1.0) -> Pulse:
+    """The ``order``-th derivative of a Gaussian pulse, peak-normalized.
+
+    Order 1 is the classic monocycle, order 2 the doublet ("Mexican hat").
+    Higher orders push the spectral peak upward, which is how carrier-free
+    UWB transmitters shape their spectrum to fit the FCC mask.
+    """
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    base = gaussian_pulse(bandwidth_hz, sample_rate_hz,
+                          truncation_sigmas=truncation_sigmas, amplitude=1.0)
+    waveform = base.waveform.copy()
+    dt = 1.0 / sample_rate_hz
+    for _ in range(order):
+        waveform = np.gradient(waveform, dt)
+    waveform = dsp.normalize_peak(waveform, amplitude)
+    return Pulse(waveform=waveform, sample_rate_hz=sample_rate_hz,
+                 name=f"gaussian_d{order}")
+
+
+def gaussian_monocycle(bandwidth_hz: float, sample_rate_hz: float,
+                       amplitude: float = 1.0) -> Pulse:
+    """First derivative of a Gaussian (monocycle)."""
+    pulse = gaussian_derivative_pulse(1, bandwidth_hz, sample_rate_hz,
+                                      amplitude=amplitude)
+    return Pulse(pulse.waveform, pulse.sample_rate_hz, name="monocycle")
+
+
+def gaussian_doublet(bandwidth_hz: float, sample_rate_hz: float,
+                     amplitude: float = 1.0) -> Pulse:
+    """Second derivative of a Gaussian (doublet)."""
+    pulse = gaussian_derivative_pulse(2, bandwidth_hz, sample_rate_hz,
+                                      amplitude=amplitude)
+    return Pulse(pulse.waveform, pulse.sample_rate_hz, name="doublet")
+
+
+def root_raised_cosine_pulse(bandwidth_hz: float, sample_rate_hz: float,
+                             rolloff: float = 0.25,
+                             span_symbols: int = 6,
+                             amplitude: float = 1.0) -> Pulse:
+    """A root-raised-cosine pulse occupying roughly ``bandwidth_hz``.
+
+    The symbol rate is chosen as ``bandwidth_hz / (1 + rolloff)`` so that the
+    total occupied bandwidth equals ``bandwidth_hz``.
+    """
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    if not 0.0 <= rolloff <= 1.0:
+        raise ValueError("rolloff must be in [0, 1]")
+    if span_symbols < 1:
+        raise ValueError("span_symbols must be >= 1")
+    symbol_rate = bandwidth_hz / (1.0 + rolloff)
+    ts = 1.0 / symbol_rate
+    t = _symmetric_time(span_symbols * ts, sample_rate_hz)
+
+    beta = rolloff
+    waveform = np.zeros_like(t)
+    for i, ti in enumerate(t):
+        if abs(ti) < 1e-18:
+            waveform[i] = 1.0 + beta * (4.0 / np.pi - 1.0)
+        elif beta > 0 and abs(abs(ti) - ts / (4.0 * beta)) < 1e-15:
+            waveform[i] = (beta / np.sqrt(2.0)) * (
+                (1.0 + 2.0 / np.pi) * np.sin(np.pi / (4.0 * beta))
+                + (1.0 - 2.0 / np.pi) * np.cos(np.pi / (4.0 * beta))
+            )
+        else:
+            x = ti / ts
+            numerator = (np.sin(np.pi * x * (1.0 - beta))
+                         + 4.0 * beta * x * np.cos(np.pi * x * (1.0 + beta)))
+            denominator = np.pi * x * (1.0 - (4.0 * beta * x) ** 2)
+            waveform[i] = numerator / denominator
+    waveform = dsp.normalize_peak(waveform, amplitude)
+    return Pulse(waveform=waveform, sample_rate_hz=sample_rate_hz, name="rrc")
+
+
+def rectangular_pulse(duration_s: float, sample_rate_hz: float,
+                      amplitude: float = 1.0) -> Pulse:
+    """A rectangular pulse of the given duration."""
+    require_positive(duration_s, "duration_s")
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    num_samples = max(int(round(duration_s * sample_rate_hz)), 1)
+    waveform = amplitude * np.ones(num_samples)
+    return Pulse(waveform=waveform, sample_rate_hz=sample_rate_hz, name="rect")
+
+
+def sinc_pulse(bandwidth_hz: float, sample_rate_hz: float,
+               span_lobes: int = 8, amplitude: float = 1.0) -> Pulse:
+    """A windowed sinc pulse with two-sided bandwidth ``bandwidth_hz``."""
+    require_positive(bandwidth_hz, "bandwidth_hz")
+    require_positive(sample_rate_hz, "sample_rate_hz")
+    if span_lobes < 1:
+        raise ValueError("span_lobes must be >= 1")
+    lobe_duration = 1.0 / bandwidth_hz
+    t = _symmetric_time(2.0 * span_lobes * lobe_duration, sample_rate_hz)
+    waveform = np.sinc(bandwidth_hz * t) * np.hamming(t.size)
+    waveform = dsp.normalize_peak(waveform, amplitude)
+    return Pulse(waveform=waveform, sample_rate_hz=sample_rate_hz, name="sinc")

@@ -1,0 +1,176 @@
+"""Composed RF front ends for both transceiver generations.
+
+* :class:`Gen1FrontEnd` — the first-generation chip's front end, which the
+  paper points out "does not require a down converter": an antenna followed
+  by a wideband LNA directly driving the 2 GSPS flash ADC.
+
+* :class:`DirectConversionFrontEnd` — the gen-2 front end of Fig. 3:
+  antenna -> LNA -> optional notch filter -> quadrature direct-conversion
+  mixer -> I/Q baseband driving the two 5-bit SAR ADCs.
+
+Both classes also expose a *composite impulse response* (antenna + front-end
+filtering), supporting the paper's observation that the front-end impulse
+response adds to the channel's and must be bounded by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rf.antenna import PlanarEllipticalAntenna
+from repro.rf.lna import LNA
+from repro.rf.mixer import DirectConversionMixer
+from repro.rf.noise import NoiseStage, cascade_noise_figure_db
+from repro.rf.notch import AnalogNotchFilter
+from repro.rf.oscillator import LocalOscillator
+from repro.rf.synthesizer import FrequencySynthesizer
+from repro.utils import dsp
+from repro.utils.validation import require_positive
+
+__all__ = ["Gen1FrontEnd", "DirectConversionFrontEnd"]
+
+
+@dataclass
+class Gen1FrontEnd:
+    """Baseband-pulse front end (no down-conversion): antenna + wideband LNA."""
+
+    antenna: PlanarEllipticalAntenna | None = None
+    lna: LNA = field(default_factory=lambda: LNA(gain_db=20.0,
+                                                 noise_figure_db=6.0,
+                                                 bandwidth_hz=2e9,
+                                                 center_frequency_hz=None,
+                                                 saturation_v=0.8))
+
+    def process(self, received, sample_rate_hz: float,
+                rng: np.random.Generator | None = None) -> np.ndarray:
+        """Run a received real waveform through antenna and LNA."""
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        waveform = np.asarray(received, dtype=float)
+        if self.antenna is not None:
+            waveform = self.antenna.apply(waveform, sample_rate_hz)
+        return self.lna.amplify(waveform, sample_rate_hz, rng=rng)
+
+    def noise_figure_db(self) -> float:
+        """Cascade noise figure of the front end."""
+        return cascade_noise_figure_db([
+            NoiseStage("lna", self.lna.gain_db, self.lna.noise_figure_db),
+        ])
+
+
+@dataclass
+class DirectConversionFrontEnd:
+    """Gen-2 direct-conversion receive front end (Fig. 3).
+
+    The processing order mirrors the block diagram: antenna -> LNA ->
+    (optional) RF notch -> quadrature mixer -> complex baseband out.
+    The synthesizer selects which of the 14 sub-bands the LO sits on.
+    """
+
+    synthesizer: FrequencySynthesizer = field(default_factory=FrequencySynthesizer)
+    antenna: PlanarEllipticalAntenna | None = None
+    lna: LNA = field(default_factory=lambda: LNA(gain_db=18.0,
+                                                 noise_figure_db=5.5,
+                                                 bandwidth_hz=None,
+                                                 saturation_v=0.6))
+    mixer: DirectConversionMixer = field(default_factory=DirectConversionMixer)
+    notch: AnalogNotchFilter | None = None
+    baseband_bandwidth_hz: float = 250e6
+
+    def __post_init__(self) -> None:
+        require_positive(self.baseband_bandwidth_hz, "baseband_bandwidth_hz")
+
+    # ------------------------------------------------------------------
+    # Passband receive path
+    # ------------------------------------------------------------------
+    def receive_passband(self, received, sample_rate_hz: float,
+                         rng: np.random.Generator | None = None,
+                         lo: LocalOscillator | None = None) -> np.ndarray:
+        """Full passband receive path: antenna, LNA, mixer to complex baseband."""
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        waveform = np.asarray(received, dtype=float)
+        if rng is None:
+            rng = np.random.default_rng()
+        if self.antenna is not None:
+            waveform = self.antenna.apply(waveform, sample_rate_hz)
+        waveform = self.lna.amplify(waveform, sample_rate_hz, rng=rng)
+        if lo is None:
+            lo = self.synthesizer.local_oscillator(rng=rng)
+        baseband = self.mixer.downconvert(
+            waveform, sample_rate_hz, lo,
+            lowpass_bandwidth_hz=self.baseband_bandwidth_hz, rng=rng)
+        if self.notch is not None and self.notch.enabled:
+            baseband = self.notch.apply(baseband, sample_rate_hz)
+        return baseband
+
+    # ------------------------------------------------------------------
+    # Complex-baseband equivalent receive path (used by link simulations)
+    # ------------------------------------------------------------------
+    def receive_baseband(self, baseband, sample_rate_hz: float,
+                         carrier_frequency_offset_hz: float = 0.0,
+                         phase_offset_rad: float = 0.0,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
+        """Baseband-equivalent receive path (impairments without passband cost).
+
+        The LNA's band-limiting and soft compression, the mixer impairments
+        (I/Q imbalance, DC offset, CFO, phase rotation), and the optional
+        notch filter are all applied at complex baseband.
+        """
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        x = np.asarray(baseband, dtype=complex)
+        if rng is None:
+            rng = np.random.default_rng()
+        x = self.lna.amplify(x, sample_rate_hz, rng=rng, add_noise=False)
+        x = self.mixer.apply_baseband_impairments(
+            x, sample_rate_hz,
+            carrier_frequency_offset_hz=carrier_frequency_offset_hz,
+            phase_offset_rad=phase_offset_rad, rng=rng)
+        cutoff = min(self.baseband_bandwidth_hz, 0.45 * sample_rate_hz)
+        x = dsp.lowpass_filter(x, cutoff, sample_rate_hz)
+        if self.notch is not None and self.notch.enabled:
+            x = self.notch.apply(x, sample_rate_hz)
+        return x
+
+    # ------------------------------------------------------------------
+    # Characterization
+    # ------------------------------------------------------------------
+    def noise_figure_db(self) -> float:
+        """Friis cascade noise figure of LNA + mixer."""
+        stages = [
+            NoiseStage("lna", self.lna.gain_db, self.lna.noise_figure_db),
+            NoiseStage("mixer", self.mixer.conversion_gain_db, 10.0),
+        ]
+        return cascade_noise_figure_db(stages)
+
+    def composite_impulse_response(self, sample_rate_hz: float,
+                                   duration_s: float = 8e-9) -> np.ndarray:
+        """Impulse response of antenna + baseband filtering.
+
+        This is the term the paper says adds to the channel impulse response
+        and must stay within what the receiver is designed to absorb.
+        """
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        num_samples = max(int(round(duration_s * sample_rate_hz)), 16)
+        impulse = np.zeros(num_samples, dtype=complex)
+        impulse[0] = 1.0
+        response = dsp.lowpass_filter(
+            impulse, min(self.baseband_bandwidth_hz, 0.45 * sample_rate_hz),
+            sample_rate_hz)
+        if self.antenna is not None:
+            antenna_ir = self.antenna.impulse_response(sample_rate_hz,
+                                                       duration_s=duration_s)
+            response = np.convolve(response, antenna_ir,
+                                   mode="full")[:num_samples]
+        return response
+
+    def impulse_response_duration_s(self, sample_rate_hz: float,
+                                    energy_fraction: float = 0.99) -> float:
+        """Duration containing ``energy_fraction`` of the composite IR energy."""
+        h = self.composite_impulse_response(sample_rate_hz)
+        energy = np.cumsum(np.abs(h) ** 2)
+        if energy[-1] <= 0:
+            return 0.0
+        energy /= energy[-1]
+        idx = int(np.searchsorted(energy, energy_fraction))
+        return (idx + 1) / sample_rate_hz

@@ -1,0 +1,110 @@
+"""Wideband low-noise amplifier model.
+
+The LNA is the first active block of the gen-2 receiver (Fig. 3).  The model
+captures the properties the paper's system considerations call out: gain,
+noise figure over > 500 MHz of bandwidth, linearity (soft compression), and
+a finite band-pass impulse response that adds to the composite channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.noise import thermal_noise_voltage_std
+from repro.rf.nonlinearity import RappNonlinearity
+from repro.utils import dsp
+from repro.utils.db import db_to_amplitude
+from repro.utils.validation import require_positive
+
+__all__ = ["LNA"]
+
+
+@dataclass
+class LNA:
+    """Behavioural wideband LNA.
+
+    Attributes
+    ----------
+    gain_db:
+        Small-signal voltage gain.
+    noise_figure_db:
+        Noise figure referred to a 50-ohm source.
+    bandwidth_hz:
+        Equivalent noise bandwidth used to size the added noise and the
+        band-limiting filter (None disables band-limiting).
+    center_frequency_hz:
+        Pass-band centre when band-limiting a real passband signal; ``None``
+        means the input is a complex baseband signal centred at 0 Hz.
+    saturation_v:
+        Output voltage where the amplifier soft-limits.
+    """
+
+    gain_db: float = 15.0
+    noise_figure_db: float = 5.0
+    bandwidth_hz: float | None = None
+    center_frequency_hz: float | None = None
+    saturation_v: float = 0.5
+    impedance_ohm: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz is not None:
+            require_positive(self.bandwidth_hz, "bandwidth_hz")
+        require_positive(self.saturation_v, "saturation_v")
+        self._limiter = RappNonlinearity(gain_db=self.gain_db,
+                                         saturation_v=self.saturation_v)
+
+    @property
+    def gain_linear(self) -> float:
+        """Small-signal voltage gain (linear)."""
+        return float(db_to_amplitude(self.gain_db))
+
+    def input_noise_std(self) -> float:
+        """Input-referred RMS noise voltage over the configured bandwidth."""
+        if self.bandwidth_hz is None:
+            return 0.0
+        return thermal_noise_voltage_std(self.bandwidth_hz,
+                                         self.noise_figure_db,
+                                         self.impedance_ohm)
+
+    def amplify(self, waveform, sample_rate_hz: float,
+                rng: np.random.Generator | None = None,
+                add_noise: bool = True) -> np.ndarray:
+        """Amplify a waveform, adding noise and applying compression.
+
+        The added noise is the LNA's own contribution (its excess over an
+        ideal noiseless amplifier is set by the noise figure); source noise
+        is the responsibility of the channel model.
+        """
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        waveform = np.asarray(waveform)
+        if rng is None:
+            rng = np.random.default_rng()
+
+        noisy = waveform
+        if add_noise and self.bandwidth_hz is not None:
+            std = self.input_noise_std()
+            if np.iscomplexobj(waveform):
+                scale = std / np.sqrt(2.0)
+                noise = (rng.standard_normal(waveform.shape)
+                         + 1j * rng.standard_normal(waveform.shape)) * scale
+            else:
+                noise = std * rng.standard_normal(waveform.shape)
+            noisy = waveform + noise
+
+        amplified = self._limiter.apply(noisy)
+
+        if self.bandwidth_hz is not None:
+            nyquist = sample_rate_hz / 2.0
+            if self.center_frequency_hz is not None:
+                low = max(self.center_frequency_hz - self.bandwidth_hz / 2.0, 1.0)
+                high = min(self.center_frequency_hz + self.bandwidth_hz / 2.0,
+                           nyquist * 0.999)
+                if low < high:
+                    amplified = dsp.bandpass_filter(amplified, low, high,
+                                                    sample_rate_hz)
+            else:
+                cutoff = min(self.bandwidth_hz / 2.0, nyquist * 0.999)
+                amplified = dsp.lowpass_filter(amplified, cutoff, sample_rate_hz)
+        return amplified

@@ -1,0 +1,167 @@
+"""Direct-conversion quadrature mixer model.
+
+The defining block of the gen-2 receiver ("the RF front end uses a direct
+conversion architecture").  Direct conversion brings its classic
+impairments, all of which the model exposes:
+
+* I/Q gain and phase imbalance (image leakage),
+* DC offset (LO self-mixing),
+* flicker (1/f) noise near DC,
+* carrier frequency offset and phase noise inherited from the LO.
+
+The mixer consumes a *real passband* waveform and an :class:`LocalOscillator`
+and produces the complex baseband signal the SAR ADCs digitize.  For long
+link simulations the library usually stays at complex baseband and applies
+:meth:`DirectConversionMixer.apply_baseband_impairments` instead, which adds
+the same impairments without the cost of passband sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.oscillator import LocalOscillator
+from repro.utils import dsp
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["DirectConversionMixer"]
+
+
+@dataclass
+class DirectConversionMixer:
+    """Quadrature down-converter with direct-conversion impairments.
+
+    Attributes
+    ----------
+    iq_gain_imbalance_db:
+        Gain mismatch between the I and Q paths.
+    iq_phase_imbalance_deg:
+        Quadrature phase error.
+    dc_offset_i, dc_offset_q:
+        Static DC offsets added to each path (LO self-mixing).
+    flicker_corner_hz:
+        Corner frequency of added 1/f noise; 0 disables it.
+    flicker_amplitude:
+        RMS amplitude of the flicker-noise process at the corner frequency.
+    conversion_gain_db:
+        Voltage conversion gain of the mixer.
+    """
+
+    iq_gain_imbalance_db: float = 0.0
+    iq_phase_imbalance_deg: float = 0.0
+    dc_offset_i: float = 0.0
+    dc_offset_q: float = 0.0
+    flicker_corner_hz: float = 0.0
+    flicker_amplitude: float = 0.0
+    conversion_gain_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.flicker_corner_hz, "flicker_corner_hz")
+        require_non_negative(self.flicker_amplitude, "flicker_amplitude")
+
+    @property
+    def conversion_gain_linear(self) -> float:
+        return float(10.0 ** (self.conversion_gain_db / 20.0))
+
+    def _iq_errors(self) -> tuple[float, float]:
+        gain_error = 10.0 ** (self.iq_gain_imbalance_db / 20.0) - 1.0
+        phase_error = np.deg2rad(self.iq_phase_imbalance_deg)
+        return gain_error, phase_error
+
+    def _flicker_noise(self, num_samples: int, sample_rate_hz: float,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Complex 1/f noise synthesized by spectral shaping of white noise."""
+        if self.flicker_corner_hz <= 0 or self.flicker_amplitude <= 0:
+            return np.zeros(num_samples, dtype=complex)
+        white = (rng.standard_normal(num_samples)
+                 + 1j * rng.standard_normal(num_samples))
+        spectrum = np.fft.fft(white)
+        freqs = np.fft.fftfreq(num_samples, d=1.0 / sample_rate_hz)
+        with np.errstate(divide="ignore"):
+            shaping = np.sqrt(self.flicker_corner_hz / np.maximum(np.abs(freqs), 1.0))
+        shaping[0] = shaping[1] if num_samples > 1 else 1.0
+        shaped = np.fft.ifft(spectrum * shaping)
+        power = np.mean(np.abs(shaped) ** 2)
+        if power > 0:
+            shaped *= self.flicker_amplitude / np.sqrt(power)
+        return shaped
+
+    # ------------------------------------------------------------------
+    # Passband path
+    # ------------------------------------------------------------------
+    def downconvert(self, passband, sample_rate_hz: float,
+                    lo: LocalOscillator,
+                    lowpass_bandwidth_hz: float | None = None,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+        """Mix a real passband waveform down to complex baseband.
+
+        The quadrature LO comes from ``lo`` (including its frequency offset
+        and phase noise); the mixer applies its own I/Q imbalance, DC
+        offsets, flicker noise, and conversion gain, then low-pass filters
+        to ``lowpass_bandwidth_hz`` (defaults to a quarter of the sampling
+        rate) to reject the double-frequency product.
+        """
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        passband = np.asarray(passband, dtype=float)
+        if rng is None:
+            rng = np.random.default_rng()
+        gain_error, phase_error = self._iq_errors()
+        lo_i, lo_q = lo.quadrature_outputs(
+            passband.size, sample_rate_hz,
+            iq_phase_error_rad=phase_error,
+            iq_gain_error=gain_error,
+            rng=rng,
+        )
+        i_path = 2.0 * passband * lo_i
+        q_path = 2.0 * passband * lo_q
+        baseband = (i_path + 1j * q_path) * self.conversion_gain_linear
+        if lowpass_bandwidth_hz is None:
+            lowpass_bandwidth_hz = sample_rate_hz / 4.0
+        cutoff = min(lowpass_bandwidth_hz, 0.45 * sample_rate_hz)
+        baseband = dsp.lowpass_filter(baseband, cutoff, sample_rate_hz)
+        baseband = baseband + (self.dc_offset_i + 1j * self.dc_offset_q)
+        baseband = baseband + self._flicker_noise(passband.size,
+                                                  sample_rate_hz, rng)
+        return baseband
+
+    # ------------------------------------------------------------------
+    # Baseband-equivalent path
+    # ------------------------------------------------------------------
+    def apply_baseband_impairments(self, baseband, sample_rate_hz: float,
+                                   carrier_frequency_offset_hz: float = 0.0,
+                                   phase_offset_rad: float = 0.0,
+                                   rng: np.random.Generator | None = None
+                                   ) -> np.ndarray:
+        """Apply the mixer's impairments directly to a complex baseband signal.
+
+        Equivalent to up-converting, mixing down with an offset LO, and
+        re-filtering, but performed analytically: CFO/phase rotation, I/Q
+        imbalance (image term), DC offsets, flicker noise, conversion gain.
+        """
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        x = np.asarray(baseband, dtype=complex)
+        if rng is None:
+            rng = np.random.default_rng()
+        t = dsp.time_vector(x.size, sample_rate_hz)
+        rotated = x * np.exp(1j * (2.0 * np.pi * carrier_frequency_offset_hz * t
+                                   + phase_offset_rad))
+        gain_error, phase_error = self._iq_errors()
+        # Standard image model: y = alpha*x + beta*conj(x).
+        alpha = 0.5 * (1.0 + (1.0 + gain_error) * np.exp(-1j * phase_error))
+        beta = 0.5 * (1.0 - (1.0 + gain_error) * np.exp(1j * phase_error))
+        impaired = alpha * rotated + beta * np.conj(rotated)
+        impaired = impaired * self.conversion_gain_linear
+        impaired = impaired + (self.dc_offset_i + 1j * self.dc_offset_q)
+        impaired = impaired + self._flicker_noise(x.size, sample_rate_hz, rng)
+        return impaired
+
+    def image_rejection_ratio_db(self) -> float:
+        """Image-rejection ratio implied by the configured I/Q imbalance."""
+        gain_error, phase_error = self._iq_errors()
+        alpha = 0.5 * (1.0 + (1.0 + gain_error) * np.exp(-1j * phase_error))
+        beta = 0.5 * (1.0 - (1.0 + gain_error) * np.exp(1j * phase_error))
+        if abs(beta) == 0:
+            return float("inf")
+        return float(20.0 * np.log10(abs(alpha) / abs(beta)))

@@ -1,0 +1,70 @@
+"""Thermal noise and noise-figure bookkeeping for the RF front end.
+
+The paper requires the RF front end to "meet the specifications on noise
+figure and linearity over a bandwidth larger than 500 MHz".  These helpers
+compute input-referred noise for a block or cascade and generate the
+corresponding sample-domain noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BOLTZMANN, ROOM_TEMPERATURE_K
+from repro.utils.db import db_to_linear, linear_to_db
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "thermal_noise_voltage_std",
+    "cascade_noise_figure_db",
+    "NoiseStage",
+    "cascade_gain_db",
+]
+
+
+def thermal_noise_voltage_std(bandwidth_hz: float,
+                              noise_figure_db: float = 0.0,
+                              impedance_ohm: float = 50.0,
+                              temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """RMS thermal-noise voltage in ``bandwidth_hz`` across ``impedance_ohm``.
+
+    Includes the excess noise implied by ``noise_figure_db``.
+    """
+    require_positive(bandwidth_hz, "bandwidth_hz")
+    require_positive(impedance_ohm, "impedance_ohm")
+    noise_power_w = (BOLTZMANN * temperature_k * bandwidth_hz
+                     * db_to_linear(noise_figure_db))
+    return float(np.sqrt(noise_power_w * impedance_ohm))
+
+
+@dataclass(frozen=True)
+class NoiseStage:
+    """One stage of an RF cascade: gain and noise figure."""
+
+    name: str
+    gain_db: float
+    noise_figure_db: float
+
+    def __post_init__(self) -> None:
+        if self.noise_figure_db < 0:
+            raise ValueError("noise_figure_db must be >= 0")
+
+
+def cascade_noise_figure_db(stages: list[NoiseStage] | tuple[NoiseStage, ...]) -> float:
+    """Friis cascade noise figure of an ordered list of stages."""
+    if len(stages) == 0:
+        raise ValueError("need at least one stage")
+    total_factor = db_to_linear(stages[0].noise_figure_db)
+    cumulative_gain = db_to_linear(stages[0].gain_db)
+    for stage in stages[1:]:
+        factor = db_to_linear(stage.noise_figure_db)
+        total_factor += (factor - 1.0) / cumulative_gain
+        cumulative_gain *= db_to_linear(stage.gain_db)
+    return float(linear_to_db(total_factor))
+
+
+def cascade_gain_db(stages: list[NoiseStage] | tuple[NoiseStage, ...]) -> float:
+    """Total gain of an ordered list of stages."""
+    return float(sum(stage.gain_db for stage in stages))

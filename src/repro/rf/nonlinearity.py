@@ -1,0 +1,81 @@
+"""Memoryless nonlinearity models (compression, IIP3) for RF blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.db import db_to_amplitude
+
+__all__ = ["RappNonlinearity", "polynomial_nonlinearity", "iip3_to_coefficient"]
+
+
+def iip3_to_coefficient(gain_linear: float, iip3_vpeak: float) -> float:
+    """Third-order coefficient of ``y = g x - c x^3`` for a given input IP3.
+
+    For a memoryless cubic nonlinearity the input-referred third-order
+    intercept amplitude satisfies ``c = 4 g / (3 A_ip3^2)``.
+    """
+    if iip3_vpeak <= 0:
+        raise ValueError("iip3_vpeak must be positive")
+    return 4.0 * gain_linear / (3.0 * iip3_vpeak ** 2)
+
+
+def polynomial_nonlinearity(x, gain_linear: float, iip3_vpeak: float) -> np.ndarray:
+    """Apply a third-order memoryless nonlinearity ``y = g x - c x^3``.
+
+    Works on real signals (passband) or complex envelopes (where the cubic
+    term uses ``|x|^2 x``, the standard baseband-equivalent form).
+    """
+    x = np.asarray(x)
+    c = iip3_to_coefficient(gain_linear, iip3_vpeak)
+    if np.iscomplexobj(x):
+        return gain_linear * x - c * (np.abs(x) ** 2) * x
+    return gain_linear * x - c * x ** 3
+
+
+@dataclass(frozen=True)
+class RappNonlinearity:
+    """Rapp (solid-state amplifier) soft-limiting model.
+
+    ``y = g x / (1 + (g |x| / v_sat)^(2p))^(1/(2p))`` — linear for small
+    inputs, saturating smoothly at ``v_sat``.  ``smoothness`` (p) of 2-3 is
+    typical of CMOS amplifiers.
+    """
+
+    gain_db: float = 0.0
+    saturation_v: float = 1.0
+    smoothness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.saturation_v <= 0:
+            raise ValueError("saturation_v must be positive")
+        if self.smoothness <= 0:
+            raise ValueError("smoothness must be positive")
+
+    @property
+    def gain_linear(self) -> float:
+        return float(db_to_amplitude(self.gain_db))
+
+    def apply(self, x) -> np.ndarray:
+        """Apply the soft limiter to a real or complex signal."""
+        x = np.asarray(x)
+        amplified = self.gain_linear * x
+        magnitude = np.abs(amplified)
+        p = self.smoothness
+        denom = (1.0 + (magnitude / self.saturation_v) ** (2.0 * p)) ** (1.0 / (2.0 * p))
+        return amplified / denom
+
+    def output_1db_compression_v(self) -> float:
+        """Output amplitude at which gain has compressed by 1 dB (numeric)."""
+        test_inputs = np.linspace(1e-6, 10.0 * self.saturation_v / self.gain_linear,
+                                  20000)
+        outputs = np.abs(self.apply(test_inputs))
+        small_signal = self.gain_linear * test_inputs
+        compression_db = 20.0 * np.log10(np.maximum(outputs, 1e-300)
+                                         / np.maximum(small_signal, 1e-300))
+        below = np.where(compression_db <= -1.0)[0]
+        if below.size == 0:
+            return float(outputs[-1])
+        return float(outputs[below[0]])

@@ -1,0 +1,138 @@
+"""Local-oscillator and PLL models.
+
+Two things in the paper need an oscillator model:
+
+* the gen-2 direct-conversion receiver mixes with a quadrature LO produced
+  by a fast-hopping frequency synthesizer (14 sub-bands), and
+* both generations use a PLL/DLL to time the ADC and the digital back end.
+
+The :class:`LocalOscillator` produces quadrature carrier samples with
+frequency offset, phase offset, and optional phase noise (a random-walk
+model parameterized by its -3 dB linewidth, adequate for studying how phase
+noise degrades the coherent RAKE combining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import dsp
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["LocalOscillator", "PhaseLockedLoop"]
+
+
+@dataclass
+class LocalOscillator:
+    """Quadrature LO with static offsets and random-walk phase noise.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Nominal LO frequency.
+    frequency_offset_hz:
+        Static frequency error (crystal tolerance, e.g. +-40 ppm).
+    phase_offset_rad:
+        Static phase error.
+    linewidth_hz:
+        Lorentzian linewidth of the random-walk (Wiener) phase-noise
+        process; 0 disables phase noise.
+    """
+
+    frequency_hz: float
+    frequency_offset_hz: float = 0.0
+    phase_offset_rad: float = 0.0
+    linewidth_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.frequency_hz, "frequency_hz")
+        require_non_negative(self.linewidth_hz, "linewidth_hz")
+
+    def phase_trajectory(self, num_samples: int, sample_rate_hz: float,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
+        """Instantaneous phase of the LO at each sample time."""
+        require_positive(sample_rate_hz, "sample_rate_hz")
+        t = dsp.time_vector(num_samples, sample_rate_hz)
+        phase = (2.0 * np.pi * (self.frequency_hz + self.frequency_offset_hz) * t
+                 + self.phase_offset_rad)
+        if self.linewidth_hz > 0:
+            if rng is None:
+                rng = np.random.default_rng()
+            # Wiener phase noise: variance increment 2*pi*linewidth*dt per step.
+            increment_std = np.sqrt(2.0 * np.pi * self.linewidth_hz / sample_rate_hz)
+            random_walk = np.cumsum(increment_std
+                                    * rng.standard_normal(num_samples))
+            phase = phase + random_walk
+        return phase
+
+    def complex_carrier(self, num_samples: int, sample_rate_hz: float,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+        """Complex exponential ``exp(j*phase(t))`` of the LO."""
+        phase = self.phase_trajectory(num_samples, sample_rate_hz, rng=rng)
+        return np.exp(1j * phase)
+
+    def quadrature_outputs(self, num_samples: int, sample_rate_hz: float,
+                           iq_phase_error_rad: float = 0.0,
+                           iq_gain_error: float = 0.0,
+                           rng: np.random.Generator | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """In-phase and quadrature LO waveforms including I/Q imbalance.
+
+        Returns ``(lo_i, lo_q)`` where ideally ``lo_i = cos`` and
+        ``lo_q = -sin``; gain and phase errors skew the quadrature path.
+        """
+        phase = self.phase_trajectory(num_samples, sample_rate_hz, rng=rng)
+        lo_i = np.cos(phase)
+        lo_q = -(1.0 + iq_gain_error) * np.sin(phase + iq_phase_error_rad)
+        return lo_i, lo_q
+
+
+@dataclass
+class PhaseLockedLoop:
+    """Simple second-order PLL settling/jitter model for clock generation.
+
+    The digital back ends of both chips are clocked from an on-chip PLL;
+    for system simulation what matters is the settling time (contributes to
+    turn-on latency) and the RMS jitter it passes to the ADC sampling clock.
+    """
+
+    reference_frequency_hz: float
+    multiplication_factor: int
+    loop_bandwidth_hz: float = 1e6
+    damping: float = 0.707
+    rms_jitter_s: float = 1e-12
+
+    def __post_init__(self) -> None:
+        require_positive(self.reference_frequency_hz, "reference_frequency_hz")
+        if self.multiplication_factor < 1:
+            raise ValueError("multiplication_factor must be >= 1")
+        require_positive(self.loop_bandwidth_hz, "loop_bandwidth_hz")
+        require_positive(self.damping, "damping")
+        require_non_negative(self.rms_jitter_s, "rms_jitter_s")
+
+    @property
+    def output_frequency_hz(self) -> float:
+        """Synthesized output frequency."""
+        return self.reference_frequency_hz * self.multiplication_factor
+
+    def settling_time_s(self, tolerance: float = 1e-3) -> float:
+        """Time for the frequency error to settle within ``tolerance`` (fractional).
+
+        Classic second-order approximation: ``t ~= -ln(tol) / (zeta * wn)``.
+        """
+        if not 0 < tolerance < 1:
+            raise ValueError("tolerance must be in (0, 1)")
+        natural_frequency = 2.0 * np.pi * self.loop_bandwidth_hz
+        return float(-np.log(tolerance) / (self.damping * natural_frequency))
+
+    def sample_clock_times(self, num_samples: int,
+                           rng: np.random.Generator | None = None) -> np.ndarray:
+        """Nominal sample instants of the output clock with added jitter."""
+        if rng is None:
+            rng = np.random.default_rng()
+        period = 1.0 / self.output_frequency_hz
+        nominal = np.arange(num_samples) * period
+        jitter = rng.normal(0.0, self.rms_jitter_s, size=num_samples)
+        return nominal + jitter

@@ -1,0 +1,150 @@
+"""Fast-hopping pulse frequency synthesizer for the 14-channel band plan.
+
+Fig. 3's transmitter contains a "Pulse Frequency Synthesizer": the block that
+picks which of the 14 sub-band centre frequencies the next pulse is
+up-converted to.  The model tracks the selected channel, enforces the band
+plan, and accounts for a finite hop (settling) time, which matters when the
+system hops between sub-bands on a per-packet or per-pulse basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import BandPlan, DEFAULT_BAND_PLAN
+from repro.rf.oscillator import LocalOscillator
+from repro.utils.validation import require_non_negative
+
+__all__ = ["FrequencySynthesizer", "HoppingSequence"]
+
+
+@dataclass
+class FrequencySynthesizer:
+    """Channel-select synthesizer over the paper's 14-sub-band plan.
+
+    Attributes
+    ----------
+    band_plan:
+        The channelization (defaults to the paper's 14 x 500 MHz plan).
+    hop_time_s:
+        Settling time when changing channels; during this interval the LO is
+        considered unusable.
+    frequency_tolerance_ppm:
+        Static frequency error applied to the generated LO.
+    linewidth_hz:
+        Phase-noise linewidth passed to the generated LO.
+    """
+
+    band_plan: BandPlan = field(default_factory=lambda: DEFAULT_BAND_PLAN)
+    hop_time_s: float = 9.5e-9
+    frequency_tolerance_ppm: float = 20.0
+    linewidth_hz: float = 0.0
+    initial_channel: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.hop_time_s, "hop_time_s")
+        require_non_negative(self.frequency_tolerance_ppm,
+                             "frequency_tolerance_ppm")
+        self._channel = None
+        self.select_channel(self.initial_channel)
+
+    @property
+    def current_channel(self) -> int:
+        """Currently selected channel index."""
+        return self._channel
+
+    @property
+    def current_frequency_hz(self) -> float:
+        """Centre frequency of the selected channel."""
+        return self.band_plan.center_frequency(self._channel)
+
+    def select_channel(self, channel: int) -> float:
+        """Switch to ``channel`` and return the time penalty incurred.
+
+        Selecting the already-active channel costs nothing; any other
+        channel costs ``hop_time_s``.
+        """
+        if not 0 <= channel < self.band_plan.num_channels:
+            raise ValueError(
+                f"channel must be in [0, {self.band_plan.num_channels})")
+        penalty = 0.0 if self._channel == channel else self.hop_time_s
+        if self._channel is None:
+            penalty = 0.0
+        self._channel = int(channel)
+        return penalty
+
+    def local_oscillator(self, rng: np.random.Generator | None = None
+                         ) -> LocalOscillator:
+        """Return an LO model at the selected channel's centre frequency.
+
+        The static frequency error is drawn uniformly inside the tolerance
+        when an ``rng`` is supplied, otherwise it is zero.
+        """
+        frequency = self.current_frequency_hz
+        offset = 0.0
+        if rng is not None and self.frequency_tolerance_ppm > 0:
+            max_offset = frequency * self.frequency_tolerance_ppm * 1e-6
+            offset = float(rng.uniform(-max_offset, max_offset))
+        return LocalOscillator(frequency_hz=frequency,
+                               frequency_offset_hz=offset,
+                               linewidth_hz=self.linewidth_hz)
+
+    def hop_sequence_duration_s(self, sequence) -> float:
+        """Total settling time spent executing a hop sequence."""
+        total = 0.0
+        for channel in sequence:
+            total += self.select_channel(int(channel))
+        return total
+
+
+@dataclass(frozen=True)
+class HoppingSequence:
+    """A deterministic channel-hopping pattern.
+
+    Frequency hopping over the sub-bands spreads the transmitted energy
+    across the full 7 GHz, which both smooths the long-term PSD (helping the
+    FCC mask) and provides frequency diversity against narrowband
+    interferers parked in one sub-band.
+    """
+
+    channels: tuple[int, ...]
+    band_plan: BandPlan = field(default_factory=lambda: DEFAULT_BAND_PLAN)
+
+    def __post_init__(self) -> None:
+        if len(self.channels) == 0:
+            raise ValueError("hopping sequence must not be empty")
+        for channel in self.channels:
+            if not 0 <= channel < self.band_plan.num_channels:
+                raise ValueError(f"channel {channel} outside the band plan")
+
+    def channel_for_symbol(self, symbol_index: int) -> int:
+        """Channel used for the ``symbol_index``-th symbol (cyclic)."""
+        return self.channels[symbol_index % len(self.channels)]
+
+    def frequency_for_symbol(self, symbol_index: int) -> float:
+        """Centre frequency for the ``symbol_index``-th symbol."""
+        return self.band_plan.center_frequency(
+            self.channel_for_symbol(symbol_index))
+
+    @classmethod
+    def round_robin(cls, num_channels: int | None = None,
+                    band_plan: BandPlan | None = None) -> "HoppingSequence":
+        """A simple 0,1,2,...,N-1 hopping pattern."""
+        plan = band_plan if band_plan is not None else DEFAULT_BAND_PLAN
+        count = num_channels if num_channels is not None else plan.num_channels
+        return cls(channels=tuple(range(count)), band_plan=plan)
+
+    @classmethod
+    def random(cls, length: int, rng: np.random.Generator | None = None,
+               band_plan: BandPlan | None = None) -> "HoppingSequence":
+        """A random hopping pattern of the given length."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        plan = band_plan if band_plan is not None else DEFAULT_BAND_PLAN
+        if rng is None:
+            rng = np.random.default_rng()
+        channels = tuple(int(c) for c in
+                         rng.integers(0, plan.num_channels, size=length))
+        return cls(channels=channels, band_plan=plan)

@@ -1,0 +1,44 @@
+"""Shared utilities: dB conversions, DSP helpers, bit handling, fixed point."""
+
+from repro.utils import bits, db, dsp, fixed_point, validation
+from repro.utils.db import (
+    amplitude_to_db,
+    db_to_amplitude,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+from repro.utils.dsp import (
+    downconvert,
+    estimate_psd,
+    normalize_energy,
+    occupied_bandwidth,
+    signal_energy,
+    signal_power,
+    upconvert,
+)
+from repro.utils.fixed_point import FixedPointFormat, quantize_fixed
+
+__all__ = [
+    "bits",
+    "db",
+    "dsp",
+    "fixed_point",
+    "validation",
+    "amplitude_to_db",
+    "db_to_amplitude",
+    "db_to_linear",
+    "dbm_to_watts",
+    "linear_to_db",
+    "watts_to_dbm",
+    "downconvert",
+    "estimate_psd",
+    "normalize_energy",
+    "occupied_bandwidth",
+    "signal_energy",
+    "signal_power",
+    "upconvert",
+    "FixedPointFormat",
+    "quantize_fixed",
+]

@@ -1,0 +1,121 @@
+"""Tests for sampling-clock jitter and ADC power models."""
+
+import numpy as np
+import pytest
+
+from repro.adc.jitter import SamplingClock, jitter_limited_snr_db
+from repro.adc.power import (
+    ADCPowerModel,
+    walden_fom_j_per_step,
+    walden_power_w,
+)
+
+
+class TestJitter:
+    def test_jitter_limited_snr_formula(self):
+        # 1 ps RMS jitter at 5 GHz input: SNR = -20 log10(2 pi * 5e9 * 1e-12).
+        expected = -20 * np.log10(2 * np.pi * 5e9 * 1e-12)
+        assert jitter_limited_snr_db(5e9, 1e-12) == pytest.approx(expected)
+
+    def test_more_jitter_less_snr(self):
+        assert jitter_limited_snr_db(1e9, 10e-12) < jitter_limited_snr_db(1e9, 1e-12)
+
+    def test_sample_times_nominal_without_jitter(self):
+        clock = SamplingClock(sample_rate_hz=1e9)
+        times = clock.sample_times(10)
+        assert np.allclose(times, np.arange(10) * 1e-9)
+
+    def test_skew_shifts_all_samples(self):
+        clock = SamplingClock(sample_rate_hz=1e9, skew_s=5e-12)
+        times = clock.sample_times(4)
+        assert np.allclose(times - np.arange(4) * 1e-9, 5e-12)
+
+    def test_jitter_statistics(self, rng):
+        clock = SamplingClock(sample_rate_hz=1e9, rms_jitter_s=2e-12)
+        times = clock.sample_times(20000, rng=rng)
+        deviation = times - np.arange(20000) * 1e-9
+        assert np.std(deviation) == pytest.approx(2e-12, rel=0.05)
+
+    def test_sample_waveform_tracks_input(self, rng):
+        clock = SamplingClock(sample_rate_hz=1e9, rms_jitter_s=0.0)
+        dense_rate = 8e9
+        t = np.arange(8000) / dense_rate
+        waveform = np.sin(2 * np.pi * 50e6 * t)
+        sampled = clock.sample_waveform(waveform, dense_rate, rng=rng)
+        expected = np.sin(2 * np.pi * 50e6 * np.arange(sampled.size) / 1e9)
+        assert np.allclose(sampled, expected, atol=1e-3)
+
+    def test_jitter_degrades_high_frequency_more(self, rng):
+        clock = SamplingClock(sample_rate_hz=2e9, rms_jitter_s=20e-12)
+        dense_rate = 16e9
+
+        def error_power(freq):
+            t = np.arange(64000) / dense_rate
+            waveform = np.sin(2 * np.pi * freq * t)
+            sampled = clock.sample_waveform(waveform, dense_rate, rng=rng)
+            ideal = np.sin(2 * np.pi * freq
+                           * np.arange(sampled.size) / 2e9)
+            return np.mean((sampled - ideal) ** 2)
+
+        assert error_power(900e6) > 3 * error_power(100e6)
+
+    def test_complex_waveform_sampling(self, rng):
+        clock = SamplingClock(sample_rate_hz=1e9)
+        dense = np.exp(1j * 2 * np.pi * 10e6 * np.arange(4000) / 4e9)
+        sampled = clock.sample_waveform(dense, 4e9, rng=rng)
+        assert np.iscomplexobj(sampled)
+
+
+class TestWaldenPower:
+    def test_power_scales_exponentially_with_bits(self):
+        p4 = walden_power_w(4, 1e9)
+        p5 = walden_power_w(5, 1e9)
+        assert p5 / p4 == pytest.approx(2.0)
+
+    def test_power_scales_linearly_with_rate(self):
+        assert walden_power_w(5, 2e9) == pytest.approx(2 * walden_power_w(5, 1e9))
+
+    def test_fom_roundtrip(self):
+        power = walden_power_w(6, 500e6, fom_j_per_step=3e-12)
+        assert walden_fom_j_per_step(power, 6, 500e6) == pytest.approx(3e-12)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            walden_power_w(0, 1e9)
+
+
+class TestADCPowerModel:
+    def test_flash_power_grows_exponentially(self):
+        model = ADCPowerModel()
+        p4 = model.flash_power_w(4, 2e9)
+        p6 = model.flash_power_w(6, 2e9)
+        assert p6 > 3 * p4
+
+    def test_sar_cheaper_than_flash_at_same_point(self):
+        model = ADCPowerModel()
+        assert model.sar_power_w(5, 500e6) < model.flash_power_w(5, 500e6)
+
+    def test_gen1_vs_gen2_adc_power(self):
+        # The gen-1 2 GSPS 4-way flash should burn much more than the gen-2
+        # pair of 5-bit SARs at 500 MSps.
+        model = ADCPowerModel()
+        gen1 = model.flash_power_w(4, 2e9, num_interleaved=4)
+        gen2 = 2 * model.sar_power_w(5, 500e6)
+        assert gen1 > 2 * gen2
+
+    def test_power_vs_resolution_sweep(self):
+        model = ADCPowerModel()
+        sweep = model.power_vs_resolution("sar", 500e6, bit_range=range(1, 7))
+        assert sorted(sweep) == list(range(1, 7))
+        values = [sweep[b] for b in sorted(sweep)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            ADCPowerModel().power_vs_resolution("pipeline", 1e9)
+
+    def test_interleaving_adds_overhead(self):
+        model = ADCPowerModel(overhead_w=2e-3)
+        single = model.flash_power_w(4, 2e9, num_interleaved=1)
+        four_way = model.flash_power_w(4, 2e9, num_interleaved=4)
+        assert four_way - single == pytest.approx(3 * 2e-3)

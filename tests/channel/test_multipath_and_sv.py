@@ -1,0 +1,180 @@
+"""Tests for the multipath channel models (tapped delay line and 802.15.3a S-V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.multipath import (
+    MultipathChannel,
+    exponential_decay_channel,
+    two_ray_channel,
+)
+from repro.channel.saleh_valenzuela import (
+    CHANNEL_MODELS,
+    CM1,
+    CM3,
+    CM4,
+    SalehValenzuelaChannelGenerator,
+    generate_channel,
+)
+
+
+class TestMultipathChannel:
+    def test_single_ray_passthrough(self):
+        channel = MultipathChannel([0.0], [1.0])
+        x = np.arange(10, dtype=float)
+        assert np.allclose(channel.apply(x, 1e9), x)
+
+    def test_rays_sorted_by_delay(self):
+        channel = MultipathChannel([5e-9, 1e-9], [0.5, 1.0])
+        assert channel.delays_s[0] == pytest.approx(1e-9)
+        assert channel.gains[0] == pytest.approx(1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            MultipathChannel([0.0, 1e-9], [1.0])
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            MultipathChannel([-1e-9], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MultipathChannel([], [])
+
+    def test_total_power(self):
+        channel = MultipathChannel([0.0, 1e-9], [1.0, 0.5])
+        assert channel.total_power() == pytest.approx(1.25)
+
+    def test_normalized_unit_power(self):
+        channel = MultipathChannel([0.0, 2e-9], [2.0, 1.0]).normalized()
+        assert channel.total_power() == pytest.approx(1.0)
+
+    def test_rms_delay_spread_two_equal_rays(self):
+        # Two equal-power rays separated by tau have RMS spread tau/2.
+        tau = 10e-9
+        channel = MultipathChannel([0.0, tau], [1.0, 1.0])
+        assert channel.rms_delay_spread_s() == pytest.approx(tau / 2)
+
+    def test_single_ray_zero_spread(self):
+        assert MultipathChannel([3e-9], [1.0]).rms_delay_spread_s() == 0.0
+
+    def test_mean_excess_delay(self):
+        channel = MultipathChannel([0.0, 10e-9], [1.0, 1.0])
+        assert channel.mean_excess_delay_s() == pytest.approx(5e-9)
+
+    def test_discrete_impulse_response_positions(self):
+        channel = MultipathChannel([0.0, 4e-9], [1.0, -0.5])
+        h = channel.discrete_impulse_response(1e9)
+        assert h[0] == pytest.approx(1.0)
+        assert h[4] == pytest.approx(-0.5)
+
+    def test_impulse_response_num_taps_too_small(self):
+        channel = MultipathChannel([0.0, 10e-9], [1.0, 0.5])
+        with pytest.raises(ValueError):
+            channel.discrete_impulse_response(1e9, num_taps=5)
+
+    def test_apply_keeps_length(self):
+        channel = two_ray_channel(5e-9)
+        x = np.random.default_rng(0).standard_normal(100)
+        assert channel.apply(x, 1e9).size == x.size
+
+    def test_apply_full_convolution(self):
+        channel = two_ray_channel(5e-9)
+        x = np.ones(10)
+        out = channel.apply(x, 1e9, keep_length=False)
+        assert out.size == 10 + 5
+
+    def test_energy_conservation_normalized_channel(self):
+        # A unit-power channel approximately preserves average signal energy
+        # for a long white input.
+        rng = np.random.default_rng(1)
+        channel = exponential_decay_channel(10e-9, 1e-9, rng=rng).normalized()
+        x = rng.standard_normal(20000)
+        y = channel.apply(x, 1e9, keep_length=False)
+        assert np.sum(np.abs(y) ** 2) == pytest.approx(np.sum(x ** 2), rel=0.1)
+
+    def test_combined_with_cascades_delays(self):
+        a = MultipathChannel([0.0, 1e-9], [1.0, 0.5])
+        b = MultipathChannel([2e-9], [2.0])
+        combined = a.combined_with(b)
+        assert combined.num_rays == 2
+        assert np.max(combined.delays_s) == pytest.approx(3e-9)
+
+    @given(st.floats(min_value=1e-9, max_value=50e-9),
+           st.floats(min_value=-20.0, max_value=0.0))
+    @settings(max_examples=30)
+    def test_two_ray_spread_bounded_by_delay(self, delay, gain_db):
+        channel = two_ray_channel(delay, gain_db)
+        assert 0 <= channel.rms_delay_spread_s() <= delay / 2 + 1e-15
+
+
+class TestExponentialChannel:
+    def test_rms_delay_spread_close_to_target(self):
+        rng = np.random.default_rng(42)
+        spreads = [exponential_decay_channel(20e-9, 2e-9, rng=rng)
+                   .rms_delay_spread_s() for _ in range(30)]
+        assert np.mean(spreads) == pytest.approx(20e-9, rel=0.4)
+
+    def test_unit_power(self):
+        channel = exponential_decay_channel(20e-9, 2e-9,
+                                            rng=np.random.default_rng(0))
+        assert channel.total_power() == pytest.approx(1.0)
+
+    def test_real_gains_option(self):
+        channel = exponential_decay_channel(20e-9, 2e-9, complex_gains=False,
+                                            rng=np.random.default_rng(0))
+        assert not np.iscomplexobj(channel.gains)
+
+
+class TestSalehValenzuela:
+    def test_all_models_defined(self):
+        assert set(CHANNEL_MODELS) == {"CM1", "CM2", "CM3", "CM4"}
+
+    def test_realization_unit_power(self):
+        generator = SalehValenzuelaChannelGenerator(
+            CM1, rng=np.random.default_rng(0))
+        channel = generator.realize()
+        assert channel.total_power() == pytest.approx(1.0)
+
+    def test_realization_has_many_rays(self):
+        channel = generate_channel("CM3", rng=np.random.default_rng(1))
+        assert channel.num_rays > 20
+
+    def test_cm4_spread_larger_than_cm1(self):
+        rng = np.random.default_rng(7)
+        gen1 = SalehValenzuelaChannelGenerator(CM1, rng=rng)
+        gen4 = SalehValenzuelaChannelGenerator(CM4, rng=rng)
+        spread1 = gen1.average_rms_delay_spread_s(num_realizations=15)
+        spread4 = gen4.average_rms_delay_spread_s(num_realizations=15)
+        assert spread4 > spread1
+
+    def test_cm3_spread_order_of_20ns(self):
+        # The paper's "rms delay spread of the channel on the order of 20 ns"
+        # is bracketed by CM3/CM4.
+        rng = np.random.default_rng(3)
+        gen = SalehValenzuelaChannelGenerator(CM3, rng=rng)
+        spread = gen.average_rms_delay_spread_s(num_realizations=20)
+        assert 5e-9 < spread < 40e-9
+
+    def test_complex_gains_flag(self):
+        channel = generate_channel("CM1", rng=np.random.default_rng(2),
+                                   complex_gains=True)
+        assert np.iscomplexobj(channel.gains)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            generate_channel("CM9")
+
+    def test_realize_many(self):
+        generator = SalehValenzuelaChannelGenerator(
+            CM1, rng=np.random.default_rng(5))
+        channels = generator.realize_many(3)
+        assert len(channels) == 3
+        assert channels[0].name != channels[1].name
+
+    def test_delays_within_horizon(self):
+        generator = SalehValenzuelaChannelGenerator(
+            CM1, rng=np.random.default_rng(6), max_excess_delay_ns=60.0)
+        channel = generator.realize()
+        assert np.max(channel.delays_s) <= 60e-9 + 1e-12

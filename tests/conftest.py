@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A reproducible random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory producing independently seeded generators."""
+    def make(seed: int = 0):
+        return np.random.default_rng(seed)
+    return make

@@ -1,0 +1,104 @@
+"""Tests for the power/QoS/data-rate adaptation controller."""
+
+import pytest
+
+from repro.core.adaptation import (
+    AdaptationController,
+    ChannelConditions,
+    OperatingMode,
+)
+from repro.core.config import Gen2Config
+
+
+class TestChannelConditions:
+    def test_invalid_delay_spread(self):
+        with pytest.raises(ValueError):
+            ChannelConditions(snr_db=10.0, rms_delay_spread_s=-1.0)
+
+
+class TestAdaptationController:
+    def _controller(self):
+        return AdaptationController(Gen2Config())
+
+    def test_mode_table_rates_decrease_with_robustness(self):
+        controller = self._controller()
+        modes = controller.available_modes(ChannelConditions(snr_db=20.0))
+        rates = [m.data_rate_bps for m in modes]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_full_rate_at_high_snr(self):
+        controller = self._controller()
+        mode = controller.select_max_throughput(ChannelConditions(snr_db=20.0))
+        assert mode.data_rate_bps == pytest.approx(100e6)
+
+    def test_robust_mode_at_low_snr(self):
+        controller = self._controller()
+        mode = controller.select_max_throughput(ChannelConditions(snr_db=3.0))
+        assert mode.pulses_per_bit >= 8
+        assert mode.data_rate_bps < 20e6
+
+    def test_infeasible_snr_falls_back_to_most_robust(self):
+        controller = self._controller()
+        mode = controller.select_max_throughput(ChannelConditions(snr_db=-10.0))
+        assert mode.name == "robust"
+
+    def test_interferer_raises_adc_bits_floor(self):
+        # The paper: 1-bit suffices in noise, 4-bit needed with an interferer.
+        controller = AdaptationController(Gen2Config(adc_bits=1))
+        clean = controller.select_max_throughput(
+            ChannelConditions(snr_db=20.0, interferer_detected=False))
+        jammed = controller.select_max_throughput(
+            ChannelConditions(snr_db=20.0, interferer_detected=True))
+        assert clean.adc_bits == 1
+        assert jammed.adc_bits >= 4
+        assert jammed.notch_enabled
+
+    def test_long_delay_spread_forces_mlse(self):
+        controller = self._controller()
+        mode = controller.select_max_throughput(
+            ChannelConditions(snr_db=20.0, rms_delay_spread_s=30e-9))
+        assert mode.use_mlse
+
+    def test_min_power_meets_rate_requirement(self):
+        controller = self._controller()
+        conditions = ChannelConditions(snr_db=20.0)
+        mode = controller.select_min_power(conditions, required_rate_bps=20e6)
+        assert mode.data_rate_bps >= 20e6
+        # It should not pick a faster (more power hungry) mode than needed.
+        full = controller.select_max_throughput(conditions)
+        assert mode.power_w <= full.power_w + 1e-9
+
+    def test_min_energy_per_bit_prefers_high_rate_at_high_snr(self):
+        controller = self._controller()
+        mode = controller.select_min_energy_per_bit(
+            ChannelConditions(snr_db=20.0))
+        assert mode.data_rate_bps >= 50e6
+
+    def test_power_increases_with_robustness_features(self):
+        controller = self._controller()
+        modes = controller.available_modes(ChannelConditions(snr_db=20.0))
+        full = next(m for m in modes if m.name == "full_rate")
+        robust = next(m for m in modes if m.name == "robust")
+        assert robust.rake_fingers > full.rake_fingers
+        assert robust.power_w > full.power_w
+
+    def test_config_for_mode_roundtrip(self):
+        controller = self._controller()
+        mode = controller.select_max_throughput(ChannelConditions(snr_db=9.0))
+        config = controller.config_for_mode(mode)
+        assert config.pulses_per_bit == mode.pulses_per_bit
+        assert config.rake_fingers == mode.rake_fingers
+        assert config.data_rate_bps == pytest.approx(mode.data_rate_bps)
+
+    def test_rate_power_frontier_sorted(self):
+        controller = self._controller()
+        frontier = controller.rate_power_frontier(ChannelConditions(snr_db=20.0))
+        rates = [r for r, _ in frontier]
+        assert rates == sorted(rates)
+        assert len(frontier) == 5
+
+    def test_energy_per_bit_infinite_for_zero_rate(self):
+        mode = OperatingMode(name="x", pulses_per_bit=1, rake_fingers=1,
+                             use_mlse=False, adc_bits=5, notch_enabled=False,
+                             data_rate_bps=0.0, power_w=1.0, min_snr_db=0.0)
+        assert mode.energy_per_bit_j() == float("inf")

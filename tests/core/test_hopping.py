@@ -1,0 +1,110 @@
+"""Tests for multi-channel selection and frequency hopping."""
+
+import pytest
+
+from repro.core.hopping import (
+    ChannelQualityMap,
+    ChannelSelector,
+    HoppingLinkPlanner,
+)
+from repro.rf.synthesizer import FrequencySynthesizer, HoppingSequence
+
+
+class TestChannelQualityMap:
+    def test_defaults_are_clean(self):
+        quality = ChannelQualityMap()
+        assert len(quality.clean_channels()) == 14
+        assert quality.sinr_db(0) == pytest.approx(20.0)
+
+    def test_update_and_read_back(self):
+        quality = ChannelQualityMap()
+        quality.update(3, sinr_db=7.5, interferer_detected=True)
+        assert quality.sinr_db(3) == pytest.approx(7.5)
+        assert quality.interferer_detected(3)
+        assert 3 not in quality.clean_channels()
+
+    def test_record_interferer_frequency(self):
+        quality = ChannelQualityMap()
+        # 5.2 GHz WLAN lands in channel 3 (5.1-5.6 GHz).
+        channel = quality.record_interferer_frequency(5.2e9)
+        assert channel == quality.band_plan.channel_for_frequency(5.2e9)
+        assert quality.interferer_detected(channel)
+        assert quality.sinr_db(channel) < 20.0
+
+    def test_invalid_channel(self):
+        quality = ChannelQualityMap()
+        with pytest.raises(ValueError):
+            quality.update(14, sinr_db=10.0)
+
+    def test_as_rows_length(self):
+        assert len(ChannelQualityMap().as_rows()) == 14
+
+
+class TestChannelSelector:
+    def _jammed_map(self):
+        quality = ChannelQualityMap()
+        quality.update(0, sinr_db=25.0)
+        quality.update(1, sinr_db=30.0, interferer_detected=True)
+        quality.update(2, sinr_db=22.0)
+        return quality
+
+    def test_best_channel_avoids_interferer(self):
+        selector = ChannelSelector(self._jammed_map())
+        best = selector.best_channel()
+        assert best != 1
+        assert best == 0  # highest SINR among clean channels
+
+    def test_best_channel_falls_back_when_all_jammed(self):
+        quality = ChannelQualityMap()
+        for channel in range(14):
+            quality.update(channel, sinr_db=5.0 + channel,
+                           interferer_detected=True)
+        assert ChannelSelector(quality).best_channel() == 13
+
+    def test_ranked_channels_put_clean_first(self):
+        selector = ChannelSelector(self._jammed_map())
+        ranking = selector.ranked_channels()
+        assert ranking.index(1) > ranking.index(0)
+        assert ranking.index(1) > ranking.index(2)
+
+    def test_ranked_channels_count(self):
+        selector = ChannelSelector(self._jammed_map())
+        assert len(selector.ranked_channels(count=5)) == 5
+
+    def test_hopping_sequence_avoids_jammed_channel(self):
+        selector = ChannelSelector(self._jammed_map())
+        sequence = selector.hopping_sequence(length=8, max_channels=4)
+        assert len(sequence.channels) == 8
+        assert 1 not in sequence.channels
+
+
+class TestHoppingLinkPlanner:
+    def test_no_overhead_for_static_channel(self):
+        planner = HoppingLinkPlanner(dwell_time_s=10e-6)
+        sequence = HoppingSequence(channels=(5,))
+        assert planner.hop_overhead_fraction(sequence, num_dwells=10) == 0.0
+        assert planner.effective_data_rate_bps(sequence, num_dwells=10) \
+            == pytest.approx(planner.data_rate_bps)
+
+    def test_overhead_grows_with_hop_rate(self):
+        synthesizer = FrequencySynthesizer(hop_time_s=1e-6)
+        planner = HoppingLinkPlanner(synthesizer, dwell_time_s=10e-6)
+        slow = HoppingSequence(channels=(0, 0, 0, 0, 1, 1, 1, 1))
+        fast = HoppingSequence(channels=(0, 1, 2, 3, 4, 5, 6, 7))
+        assert planner.hop_overhead_fraction(fast, num_dwells=8) > \
+            planner.hop_overhead_fraction(slow, num_dwells=8)
+
+    def test_effective_rate_below_nominal_when_hopping(self):
+        synthesizer = FrequencySynthesizer(hop_time_s=1e-6)
+        planner = HoppingLinkPlanner(synthesizer, dwell_time_s=5e-6,
+                                     data_rate_bps=100e6)
+        sequence = HoppingSequence.round_robin()
+        rate = planner.effective_data_rate_bps(sequence, num_dwells=14)
+        assert 50e6 < rate < 100e6
+
+    def test_overhead_bounded(self):
+        synthesizer = FrequencySynthesizer(hop_time_s=9e-9)
+        planner = HoppingLinkPlanner(synthesizer, dwell_time_s=10e-6)
+        sequence = HoppingSequence.round_robin()
+        overhead = planner.hop_overhead_fraction(sequence, num_dwells=28)
+        assert 0.0 <= overhead < 0.01

@@ -1,0 +1,159 @@
+"""Unit tests for receiver internals shared by both generations."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.metrics import PacketResult
+from repro.core.receiver import Gen1Receiver, Gen2Receiver, ReceiveResult
+from repro.core.transmitter import Gen1Transmitter, Gen2Transmitter
+from repro.dsp.acquisition import AcquisitionResult
+from repro.phy.packet import HEADER_LENGTH_BITS
+from repro.utils.bits import int_to_bits, random_bits
+
+
+@pytest.fixture
+def gen2_pair():
+    config = Gen2Config.fast_test_config()
+    return (Gen2Transmitter(config),
+            Gen2Receiver(config, rng=np.random.default_rng(0)), config)
+
+
+@pytest.fixture
+def gen1_pair():
+    config = Gen1Config.fast_test_config()
+    return (Gen1Transmitter(config),
+            Gen1Receiver(config, rng=np.random.default_rng(0)), config)
+
+
+class TestTemplates:
+    def test_preamble_template_matches_transmitted_preamble(self, gen2_pair):
+        transmitter, receiver, config = gen2_pair
+        out = transmitter.transmit(random_bits(8, np.random.default_rng(1)),
+                                   lead_in_s=0.0)
+        decimated = out.waveform[::config.decimation_factor]
+        preamble_part = decimated[:receiver.preamble_template.size]
+        # The receiver's stored template reproduces the transmitted preamble.
+        correlation = np.abs(np.vdot(preamble_part, receiver.preamble_template))
+        norm = (np.linalg.norm(preamble_part)
+                * np.linalg.norm(receiver.preamble_template))
+        assert correlation / norm > 0.99
+
+    def test_symbol_template_length(self, gen2_pair):
+        _, receiver, config = gen2_pair
+        assert receiver.symbol_template.size == \
+            config.pulses_per_bit * config.samples_per_pri_adc
+
+    def test_gen1_templates_are_real(self, gen1_pair):
+        _, receiver, _ = gen1_pair
+        assert not np.iscomplexobj(receiver.preamble_template)
+        assert not np.iscomplexobj(receiver.pulse_template)
+
+    def test_gen2_templates_are_complex(self, gen2_pair):
+        _, receiver, _ = gen2_pair
+        assert np.iscomplexobj(receiver.pulse_template)
+
+    def test_chips_to_waveform_scales_with_chip_value(self, gen2_pair):
+        _, receiver, _ = gen2_pair
+        plus = receiver._chips_to_waveform(np.array([1.0]))
+        minus = receiver._chips_to_waveform(np.array([-1.0]))
+        assert np.allclose(plus, -minus)
+
+
+class TestHeaderDrivenLength:
+    def test_coded_payload_bit_count(self, gen2_pair):
+        _, receiver, config = gen2_pair
+        header = np.concatenate((int_to_bits(40, 12), int_to_bits(0, 3),
+                                 int_to_bits(1, 1)))
+        count = receiver._coded_payload_bit_count(header)
+        code = config.packet.code
+        expected = (40 + config.packet.crc.width
+                    + code.constraint_length - 1) * code.rate_inverse
+        assert count == expected
+
+    def test_uncoded_payload_bit_count(self, gen2_pair):
+        _, receiver, config = gen2_pair
+        header = np.concatenate((int_to_bits(40, 12), int_to_bits(0, 3),
+                                 int_to_bits(0, 1)))
+        assert receiver._coded_payload_bit_count(header) == \
+            40 + config.packet.crc.width
+
+    def test_header_length_constant(self):
+        assert HEADER_LENGTH_BITS == 16
+
+
+class TestDigitization:
+    def test_gen2_digitize_is_quantized(self, gen2_pair):
+        _, receiver, config = gen2_pair
+        analog = 0.7 * np.exp(1j * np.linspace(0, 6.0, 64))
+        digital = receiver._digitize(analog, np.random.default_rng(2))
+        step = 2.0 / (1 << config.adc_bits)
+        assert np.max(np.abs(digital.real - analog.real)) <= step
+        assert np.iscomplexobj(digital)
+
+    def test_gen1_digitize_uses_real_part(self, gen1_pair):
+        _, receiver, _ = gen1_pair
+        analog = 0.5 * np.sin(np.linspace(0, 20, 128))
+        digital = receiver._digitize(analog, np.random.default_rng(3))
+        assert not np.iscomplexobj(digital)
+        assert np.max(np.abs(digital - analog)) <= 2.0 / (1 << 4)
+
+    def test_demodulate_statistics_slicer(self, gen2_pair):
+        _, receiver, _ = gen2_pair
+        bits = receiver._demodulate_statistics(np.array([0.4, -0.1, 2.0,
+                                                         -3.0 + 1.0j]))
+        assert np.array_equal(bits, [1, 0, 1, 0])
+
+
+class TestReceiveResultScoring:
+    def _acquisition(self, detected=True):
+        return AcquisitionResult(detected=detected, timing_offset_samples=105,
+                                 peak_metric=0.7, num_hypotheses_searched=100,
+                                 search_time_s=1e-6,
+                                 correlation_profile=np.zeros(4))
+
+    def test_packet_result_counts_missing_bits_as_errors(self):
+        result = ReceiveResult(acquisition=self._acquisition(),
+                               channel_estimate=None,
+                               payload_bits=np.array([1, 0], dtype=np.int64),
+                               crc_ok=False)
+        packet = result.to_packet_result(np.array([1, 0, 1, 1]), 100)
+        assert isinstance(packet, PacketResult)
+        assert packet.payload_bit_errors == 2
+        assert packet.timing_error_samples == 5
+        assert not packet.packet_success
+
+    def test_perfect_reception_scores_clean(self):
+        payload = np.array([1, 0, 1, 1], dtype=np.int64)
+        result = ReceiveResult(acquisition=self._acquisition(),
+                               channel_estimate=None,
+                               payload_bits=payload.copy(), crc_ok=True)
+        packet = result.to_packet_result(payload, 105)
+        assert packet.payload_bit_errors == 0
+        assert packet.timing_error_samples == 0
+        assert packet.packet_success
+
+    def test_not_detected_property(self):
+        result = ReceiveResult(acquisition=self._acquisition(detected=False),
+                               channel_estimate=None,
+                               payload_bits=np.zeros(0, dtype=np.int64),
+                               crc_ok=False)
+        assert not result.detected
+
+
+class TestMissingPacket:
+    def test_noise_only_capture_rejected(self, gen2_pair):
+        _, receiver, config = gen2_pair
+        rng = np.random.default_rng(5)
+        noise = 0.05 * (rng.standard_normal(6000)
+                        + 1j * rng.standard_normal(6000))
+        result = receiver.receive(noise, rng=rng)
+        assert not result.detected
+        assert result.payload_bits.size == 0
+
+    def test_gen1_noise_only_capture_rejected(self, gen1_pair):
+        _, receiver, _ = gen1_pair
+        rng = np.random.default_rng(6)
+        noise = 0.05 * rng.standard_normal(12000)
+        result = receiver.receive(noise, rng=rng)
+        assert not result.detected

@@ -1,0 +1,203 @@
+"""Tests for the correlator bank, the parallelizer, and the AGC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.agc import AutomaticGainControl
+from repro.dsp.correlator import (
+    Correlator,
+    CorrelatorBank,
+    normalized_correlation,
+    sliding_correlation,
+)
+from repro.dsp.parallelizer import (
+    Parallelizer,
+    acquisition_clock_cycles,
+    acquisition_time_s,
+)
+
+
+class TestSlidingCorrelation:
+    def test_peak_at_template_position(self):
+        rng = np.random.default_rng(0)
+        template = rng.standard_normal(32)
+        samples = np.zeros(256)
+        samples[100:132] = template
+        correlation = sliding_correlation(samples, template)
+        assert int(np.argmax(np.abs(correlation))) == 100
+
+    def test_peak_value_is_template_energy(self):
+        template = np.array([1.0, -2.0, 3.0])
+        samples = np.concatenate((np.zeros(5), template, np.zeros(5)))
+        correlation = sliding_correlation(samples, template)
+        assert np.max(correlation) == pytest.approx(np.sum(template ** 2))
+
+    def test_complex_correlation_conjugates_template(self):
+        template = np.array([1.0 + 1.0j, 0.5 - 0.5j])
+        samples = np.concatenate((np.zeros(3, dtype=complex), template,
+                                  np.zeros(3, dtype=complex)))
+        correlation = sliding_correlation(samples, template)
+        peak = correlation[np.argmax(np.abs(correlation))]
+        # At the aligned position the correlation is the template energy (real).
+        assert peak.real == pytest.approx(np.sum(np.abs(template) ** 2), rel=1e-6)
+        assert abs(peak.imag) < 1e-9
+
+    def test_short_input_returns_empty(self):
+        assert sliding_correlation(np.ones(3), np.ones(5)).size == 0
+
+    def test_matches_numpy_correlate(self):
+        rng = np.random.default_rng(1)
+        samples = rng.standard_normal(200)
+        template = rng.standard_normal(17)
+        ours = sliding_correlation(samples, template)
+        reference = np.correlate(samples, template, mode="valid")
+        assert np.allclose(ours, reference, atol=1e-9)
+
+
+class TestNormalizedCorrelation:
+    def test_perfect_match_gives_one(self):
+        rng = np.random.default_rng(2)
+        template = rng.standard_normal(64)
+        samples = np.concatenate((np.zeros(32), template, np.zeros(32)))
+        metric = np.abs(normalized_correlation(samples, template))
+        assert np.max(metric) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        samples = rng.standard_normal(500)
+        template = rng.standard_normal(32)
+        metric = np.abs(normalized_correlation(samples, template))
+        assert np.all(metric <= 1.0 + 1e-9)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(4)
+        template = rng.standard_normal(32)
+        samples = np.concatenate((rng.standard_normal(50) * 0.1, template,
+                                  np.zeros(20)))
+        metric1 = np.abs(normalized_correlation(samples, template))
+        metric2 = np.abs(normalized_correlation(samples * 100.0, template))
+        assert np.allclose(metric1, metric2, atol=1e-6)
+
+
+class TestCorrelatorBank:
+    def test_correlate_at_specific_offset(self):
+        template = np.array([1.0, 1.0, -1.0])
+        correlator = Correlator(template)
+        samples = np.array([0.0, 1.0, 1.0, -1.0, 0.0])
+        assert correlator.correlate_at(samples, 1) == pytest.approx(3.0)
+        assert correlator.correlate_at(samples, 100) == 0.0
+
+    def test_matched_filter_gain(self):
+        correlator = Correlator(np.array([2.0, 2.0]))
+        assert correlator.matched_filter_gain() == pytest.approx(8.0)
+
+    def test_bank_best_match(self):
+        rng = np.random.default_rng(5)
+        templates = [rng.standard_normal(16) for _ in range(3)]
+        samples = np.concatenate((np.zeros(20), templates[1], np.zeros(20)))
+        bank = CorrelatorBank(templates)
+        index, offset, peak = bank.best_match(samples)
+        assert index == 1
+        assert offset == 20
+
+    def test_bank_requires_templates(self):
+        with pytest.raises(ValueError):
+            CorrelatorBank([])
+
+    def test_bank_evaluate_at(self):
+        bank = CorrelatorBank([np.ones(4), -np.ones(4)])
+        values = bank.evaluate_at(np.ones(10), 0)
+        assert values[0] == pytest.approx(4.0)
+        assert values[1] == pytest.approx(-4.0)
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValueError):
+            Correlator(np.zeros(0))
+
+
+class TestParallelizer:
+    def test_split_and_merge_roundtrip(self):
+        parallelizer = Parallelizer(num_lanes=4, input_rate_hz=2e9)
+        samples = np.arange(32, dtype=float)
+        lanes = parallelizer.split(samples)
+        assert len(lanes) == 4
+        merged = parallelizer.merge(lanes)
+        assert np.array_equal(merged, samples)
+
+    def test_split_drops_partial_frame(self):
+        parallelizer = Parallelizer(num_lanes=4, input_rate_hz=2e9)
+        lanes = parallelizer.split(np.arange(10))
+        assert all(lane.size == 2 for lane in lanes)
+
+    def test_lane_rate(self):
+        parallelizer = Parallelizer(num_lanes=8, input_rate_hz=2e9)
+        assert parallelizer.lane_rate_hz == pytest.approx(250e6)
+
+    def test_lane_contents_are_polyphase(self):
+        parallelizer = Parallelizer(num_lanes=2, input_rate_hz=1e9)
+        lanes = parallelizer.split(np.array([0, 1, 2, 3, 4, 5]))
+        assert np.array_equal(lanes[0], [0, 2, 4])
+        assert np.array_equal(lanes[1], [1, 3, 5])
+
+    def test_merge_wrong_lane_count(self):
+        parallelizer = Parallelizer(num_lanes=3, input_rate_hz=1e9)
+        with pytest.raises(ValueError):
+            parallelizer.merge([np.ones(4), np.ones(4)])
+
+    def test_acquisition_cycles(self):
+        assert acquisition_clock_cycles(1000, 1) == 1000
+        assert acquisition_clock_cycles(1000, 16) == 63
+        assert acquisition_clock_cycles(1000, 16,
+                                        integrations_per_hypothesis=4) == 252
+
+    def test_acquisition_time_scales_inversely_with_parallelism(self):
+        serial = acquisition_time_s(4096, 1, 100e6)
+        parallel = acquisition_time_s(4096, 16, 100e6)
+        assert serial / parallel == pytest.approx(16.0, rel=0.01)
+
+    @given(st.integers(min_value=1, max_value=10000),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40)
+    def test_cycles_cover_all_hypotheses(self, hypotheses, parallelism):
+        cycles = acquisition_clock_cycles(hypotheses, parallelism)
+        assert cycles * parallelism >= hypotheses
+        assert (cycles - 1) * parallelism < hypotheses
+
+
+class TestAGC:
+    def test_scales_to_target_rms(self):
+        agc = AutomaticGainControl(target_rms=0.25)
+        x = 3.0 * np.random.default_rng(0).standard_normal(10000)
+        scaled, gain = agc.apply(x)
+        assert np.std(scaled) == pytest.approx(0.25, rel=0.02)
+        assert gain < 1.0
+
+    def test_gain_limits(self):
+        agc = AutomaticGainControl(target_rms=1.0, max_gain=10.0)
+        x = 1e-9 * np.ones(100)
+        _, gain = agc.apply(x)
+        assert gain == pytest.approx(10.0)
+
+    def test_zero_signal_uses_max_gain(self):
+        agc = AutomaticGainControl()
+        _, gain = agc.apply(np.zeros(100))
+        assert gain == agc.max_gain
+
+    def test_peak_mode_backoff(self):
+        agc = AutomaticGainControl()
+        x = np.concatenate((np.zeros(100), [2.0]))
+        scaled, _ = agc.apply_from_peak(x, full_scale=1.0, peak_backoff_db=6.0)
+        assert np.max(np.abs(scaled)) == pytest.approx(10 ** (-6 / 20), rel=1e-6)
+
+    def test_complex_input(self):
+        agc = AutomaticGainControl(target_rms=0.5)
+        x = (np.random.default_rng(1).standard_normal(5000)
+             + 1j * np.random.default_rng(2).standard_normal(5000))
+        scaled, _ = agc.apply(x)
+        assert np.sqrt(np.mean(np.abs(scaled) ** 2)) == pytest.approx(0.5,
+                                                                      rel=0.02)
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            AutomaticGainControl(min_gain=10.0, max_gain=1.0)

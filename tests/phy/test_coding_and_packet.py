@@ -1,0 +1,218 @@
+"""Tests for convolutional coding, Viterbi decoding, and packet framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.coding import (
+    ConvolutionalCode,
+    K3_RATE_HALF,
+    K7_RATE_HALF,
+    ViterbiDecoder,
+)
+from repro.phy.packet import (
+    HEADER_LENGTH_BITS,
+    PacketBuilder,
+    PacketConfig,
+    PacketParser,
+)
+from repro.phy.preamble import PreambleConfig
+from repro.utils.bits import bit_errors, random_bits
+
+
+class TestConvolutionalCode:
+    def test_rate_and_states(self):
+        assert K3_RATE_HALF.rate_inverse == 2
+        assert K3_RATE_HALF.num_states == 4
+        assert K7_RATE_HALF.num_states == 64
+
+    def test_encode_length(self):
+        bits = random_bits(50, np.random.default_rng(0))
+        coded = K3_RATE_HALF.encode(bits, terminate=True)
+        assert coded.size == (50 + 2) * 2
+
+    def test_encode_unterminated_length(self):
+        coded = K3_RATE_HALF.encode(np.zeros(10, dtype=np.int64),
+                                    terminate=False)
+        assert coded.size == 20
+
+    def test_zero_input_gives_zero_output(self):
+        coded = K3_RATE_HALF.encode(np.zeros(16, dtype=np.int64))
+        assert np.all(coded == 0)
+
+    def test_known_k3_sequence(self):
+        # Encoding a single 1 with the (7,5) code gives the impulse response
+        # 11 10 11 followed by zeros.
+        coded = K3_RATE_HALF.encode(np.array([1]), terminate=True)
+        assert np.array_equal(coded, [1, 1, 1, 0, 1, 1])
+
+    def test_invalid_generators(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=3, generators=(0b1111,
+                                                               0b101))
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=3, generators=(0b111,))
+
+
+class TestViterbiDecoder:
+    def test_decode_clean(self):
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        bits = random_bits(100, np.random.default_rng(1))
+        coded = K3_RATE_HALF.encode(bits)
+        assert np.array_equal(decoder.decode(coded), bits)
+
+    def test_corrects_isolated_errors(self):
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        bits = random_bits(100, np.random.default_rng(2))
+        coded = K3_RATE_HALF.encode(bits)
+        corrupted = coded.copy()
+        corrupted[10] ^= 1
+        corrupted[60] ^= 1
+        corrupted[150] ^= 1
+        assert np.array_equal(decoder.decode(corrupted), bits)
+
+    def test_soft_decoding_beats_hard_at_low_snr(self):
+        rng = np.random.default_rng(3)
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        hard_total = 0
+        soft_total = 0
+        for trial in range(8):
+            bits = random_bits(200, rng)
+            coded = K3_RATE_HALF.encode(bits)
+            bipolar = 2.0 * coded - 1.0
+            noisy = bipolar + rng.normal(0, 0.9, size=bipolar.size)
+            hard = (noisy > 0).astype(np.int64)
+            hard_total += bit_errors(bits, decoder.decode(hard, soft=False))
+            soft_total += bit_errors(bits, decoder.decode(noisy, soft=True))
+        assert soft_total <= hard_total
+
+    def test_k7_code_roundtrip(self):
+        decoder = ViterbiDecoder(K7_RATE_HALF)
+        bits = random_bits(60, np.random.default_rng(4))
+        coded = K7_RATE_HALF.encode(bits)
+        assert np.array_equal(decoder.decode(coded), bits)
+
+    def test_invalid_length_raises(self):
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros(7))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4,
+                    max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, bits):
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        coded = K3_RATE_HALF.encode(np.asarray(bits, dtype=np.int64))
+        assert np.array_equal(decoder.decode(coded),
+                              np.asarray(bits, dtype=np.int64))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=20,
+                    max_size=60),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_viterbi_never_worse_than_channel_errors(self, bits, seed):
+        """Decoding a corrupted stream should fix at least as much as it breaks
+        when the corruption is a single channel bit."""
+        bits = np.asarray(bits, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        decoder = ViterbiDecoder(K3_RATE_HALF)
+        coded = K3_RATE_HALF.encode(bits)
+        corrupted = coded.copy()
+        corrupted[int(rng.integers(0, coded.size))] ^= 1
+        decoded = decoder.decode(corrupted)
+        assert bit_errors(bits, decoded) == 0
+
+
+class TestPacketFraming:
+    def _config(self, use_coding=True):
+        return PacketConfig(
+            preamble=PreambleConfig(sequence_degree=5, num_repetitions=2),
+            use_coding=use_coding)
+
+    def test_build_and_parse_roundtrip(self):
+        config = self._config()
+        builder = PacketBuilder(config)
+        parser = PacketParser(config)
+        payload = random_bits(64, np.random.default_rng(0))
+        packet = builder.build(payload)
+        result = parser.parse(packet.body_bits)
+        assert result.crc_ok
+        assert np.array_equal(result.payload_bits, payload)
+
+    def test_roundtrip_without_coding(self):
+        config = self._config(use_coding=False)
+        builder = PacketBuilder(config)
+        parser = PacketParser(config)
+        payload = random_bits(40, np.random.default_rng(1))
+        packet = builder.build(payload)
+        result = parser.parse(packet.body_bits)
+        assert result.crc_ok
+        assert np.array_equal(result.payload_bits, payload)
+
+    def test_header_contents(self):
+        config = self._config()
+        builder = PacketBuilder(config)
+        packet = builder.build(random_bits(32, np.random.default_rng(2)),
+                               modulation_id=3)
+        parser = PacketParser(config)
+        result = parser.parse(packet.body_bits)
+        assert result.header_payload_length == 32
+        assert result.header_modulation_id == 3
+        assert result.header_coding_flag == 1
+
+    def test_preamble_length(self):
+        config = self._config()
+        packet = PacketBuilder(config).build(random_bits(8,
+                                                         np.random.default_rng(3)))
+        assert packet.preamble_symbols.size == 31 * 2
+
+    def test_body_starts_with_header(self):
+        config = self._config()
+        packet = PacketBuilder(config).build(np.zeros(16, dtype=np.int64))
+        assert packet.body_bits.size >= HEADER_LENGTH_BITS
+
+    def test_corrupted_payload_fails_crc(self):
+        config = self._config(use_coding=False)
+        builder = PacketBuilder(config)
+        parser = PacketParser(config)
+        packet = builder.build(random_bits(64, np.random.default_rng(4)))
+        corrupted = packet.body_bits.copy()
+        corrupted[HEADER_LENGTH_BITS + 5] ^= 1
+        result = parser.parse(corrupted)
+        assert not result.crc_ok
+
+    def test_coded_packet_survives_sparse_errors(self):
+        config = self._config(use_coding=True)
+        builder = PacketBuilder(config)
+        parser = PacketParser(config)
+        payload = random_bits(64, np.random.default_rng(5))
+        packet = builder.build(payload)
+        corrupted = packet.body_bits.copy()
+        corrupted[HEADER_LENGTH_BITS + 3] ^= 1
+        corrupted[HEADER_LENGTH_BITS + 40] ^= 1
+        result = parser.parse(corrupted)
+        assert result.crc_ok
+        assert np.array_equal(result.payload_bits, payload)
+
+    def test_payload_too_long_raises(self):
+        builder = PacketBuilder(self._config())
+        with pytest.raises(ValueError):
+            builder.build(np.zeros(5000, dtype=np.int64))
+
+    def test_truncated_body_handled(self):
+        config = self._config()
+        parser = PacketParser(config)
+        result = parser.parse(np.zeros(4, dtype=np.int64))
+        assert not result.crc_ok
+        assert result.payload_bits.size == 0
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, num_bits, seed):
+        config = self._config()
+        payload = random_bits(num_bits, np.random.default_rng(seed))
+        packet = PacketBuilder(config).build(payload)
+        result = PacketParser(config).parse(packet.body_bits)
+        assert result.crc_ok
+        assert np.array_equal(result.payload_bits, payload)

@@ -1,0 +1,200 @@
+"""Tests for modulation schemes and pulse-train generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pulses.modulation import (
+    BPSKModulator,
+    BinaryPPMModulator,
+    OOKModulator,
+    PAMModulator,
+    make_modulator,
+)
+from repro.pulses.shapes import gaussian_pulse
+from repro.pulses.train import PulseTrainConfig, PulseTrainGenerator
+from repro.utils.bits import random_bits
+
+
+class TestBPSK:
+    def test_mapping(self):
+        mod = BPSKModulator()
+        assert np.array_equal(mod.modulate([0, 1, 0]), [-1.0, 1.0, -1.0])
+
+    def test_demodulation(self):
+        mod = BPSKModulator()
+        assert np.array_equal(mod.demodulate([-0.3, 0.8, -2.0]), [0, 1, 0])
+
+    def test_roundtrip(self):
+        mod = BPSKModulator()
+        bits = random_bits(64, np.random.default_rng(0))
+        assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+    def test_average_energy(self):
+        assert BPSKModulator().average_symbol_energy() == pytest.approx(1.0)
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BPSKModulator().modulate([0, 2])
+
+
+class TestOOK:
+    def test_mapping(self):
+        mod = OOKModulator()
+        assert np.array_equal(mod.modulate([0, 1]), [0.0, 1.0])
+
+    def test_demodulation_threshold(self):
+        mod = OOKModulator()
+        assert np.array_equal(mod.demodulate([0.2, 0.8]), [0, 1])
+
+    def test_roundtrip(self):
+        mod = OOKModulator()
+        bits = random_bits(64, np.random.default_rng(1))
+        assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+class TestPPM:
+    def test_position_offsets(self):
+        mod = BinaryPPMModulator(delta_s=2e-9)
+        assert mod.position_offsets == (0.0, 2e-9)
+
+    def test_amplitudes_are_unit(self):
+        mod = BinaryPPMModulator()
+        amps = mod.symbols_to_amplitudes(mod.modulate([0, 1, 1]))
+        assert np.array_equal(amps, [1.0, 1.0, 1.0])
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            BinaryPPMModulator(delta_s=0.0)
+
+    def test_demodulation_sign(self):
+        mod = BinaryPPMModulator()
+        assert np.array_equal(mod.demodulate([-1.0, 1.0]), [0, 1])
+
+
+class TestPAM:
+    def test_unit_average_energy(self):
+        for order in (2, 4, 8):
+            mod = PAMModulator(order=order)
+            assert mod.average_symbol_energy() == pytest.approx(1.0)
+
+    def test_bits_per_symbol(self):
+        assert PAMModulator(order=4).bits_per_symbol == 2
+        assert PAMModulator(order=8).bits_per_symbol == 3
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            PAMModulator(order=3)
+
+    def test_roundtrip(self):
+        mod = PAMModulator(order=4)
+        bits = random_bits(200, np.random.default_rng(2))
+        assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+    def test_gray_mapping_adjacent_levels(self):
+        # Adjacent amplitude levels should differ in exactly one bit.
+        mod = PAMModulator(order=8)
+        levels = mod.levels
+        decoded = [mod.demodulate(np.array([level])) for level in levels]
+        for a, b in zip(decoded[:-1], decoded[1:]):
+            assert int(np.sum(np.asarray(a) != np.asarray(b))) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4,
+                    max_size=64).filter(lambda b: len(b) % 2 == 0))
+    @settings(max_examples=30)
+    def test_pam4_roundtrip_property(self, bits):
+        mod = PAMModulator(order=4)
+        assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+
+class TestFactory:
+    def test_known_schemes(self):
+        assert make_modulator("bpsk").name == "bpsk"
+        assert make_modulator("ook").name == "ook"
+        assert make_modulator("ppm").name == "ppm"
+        assert make_modulator("pam4").name == "pam4"
+        assert make_modulator("pam", order=8).name == "pam8"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_modulator("qam64")
+
+
+class TestPulseTrainConfig:
+    def test_prf_and_symbol_rate(self):
+        config = PulseTrainConfig(pulse_repetition_interval_s=10e-9,
+                                  pulses_per_symbol=4)
+        assert config.pulse_repetition_frequency_hz == pytest.approx(100e6)
+        assert config.symbol_rate_hz() == pytest.approx(25e6)
+
+    def test_invalid_hopping_offset(self):
+        with pytest.raises(ValueError):
+            PulseTrainConfig(pulse_repetition_interval_s=10e-9,
+                             time_hopping_codes=(15e-9,))
+
+
+class TestPulseTrainGenerator:
+    def _generator(self, pulses_per_symbol=1, pri=10e-9):
+        pulse = gaussian_pulse(500e6, 2e9)
+        config = PulseTrainConfig(pulse_repetition_interval_s=pri,
+                                  pulses_per_symbol=pulses_per_symbol)
+        return PulseTrainGenerator(pulse, config, BPSKModulator())
+
+    def test_output_length(self):
+        gen = self._generator(pulses_per_symbol=2)
+        train = gen.generate_from_bits([1, 0, 1])
+        assert train.waveform.size == 3 * gen.samples_per_symbol
+
+    def test_polarity_follows_bits(self):
+        gen = self._generator()
+        train = gen.generate_from_bits([1, 0])
+        spc = gen.samples_per_pulse_interval
+        first = train.waveform[:spc]
+        second = train.waveform[spc:2 * spc]
+        assert np.max(first) > abs(np.min(first))      # positive pulse
+        assert abs(np.min(second)) > np.max(second)    # negative pulse
+
+    def test_energy_scales_with_pulses_per_symbol(self):
+        bits = [1, 1, 0, 1]
+        e1 = np.sum(self._generator(1).generate_from_bits(bits).waveform ** 2)
+        e4 = np.sum(self._generator(4).generate_from_bits(bits).waveform ** 2)
+        assert e4 == pytest.approx(4 * e1, rel=1e-6)
+
+    def test_pulse_longer_than_pri_raises(self):
+        pulse = gaussian_pulse(100e6, 2e9)   # ~39 ns long
+        config = PulseTrainConfig(pulse_repetition_interval_s=10e-9)
+        with pytest.raises(ValueError):
+            PulseTrainGenerator(pulse, config, BPSKModulator())
+
+    def test_template_unit_energy(self):
+        gen = self._generator()
+        template = gen.template()
+        assert np.sum(np.abs(template) ** 2) == pytest.approx(1.0)
+
+    def test_data_rate(self):
+        gen = self._generator(pulses_per_symbol=1, pri=10e-9)
+        assert gen.data_rate_bps() == pytest.approx(100e6)
+
+    def test_time_hopping_moves_pulses(self):
+        pulse = gaussian_pulse(500e6, 2e9)
+        config = PulseTrainConfig(pulse_repetition_interval_s=20e-9,
+                                  pulses_per_symbol=1,
+                                  time_hopping_codes=(0.0, 5e-9))
+        gen = PulseTrainGenerator(pulse, config, BPSKModulator())
+        train = gen.generate_from_bits([1, 1])
+        spc = gen.samples_per_pulse_interval
+        peak0 = np.argmax(train.waveform[:spc])
+        peak1 = np.argmax(train.waveform[spc:2 * spc])
+        shift_samples = int(round(5e-9 * 2e9))
+        assert peak1 - peak0 == pytest.approx(shift_samples, abs=1)
+
+    def test_ppm_train_shifts_pulse(self):
+        pulse = gaussian_pulse(500e6, 2e9)
+        config = PulseTrainConfig(pulse_repetition_interval_s=20e-9)
+        mod = BinaryPPMModulator(delta_s=4e-9)
+        gen = PulseTrainGenerator(pulse, config, mod)
+        train = gen.generate_from_bits([0, 1])
+        spc = gen.samples_per_pulse_interval
+        peak0 = np.argmax(np.abs(train.waveform[:spc]))
+        peak1 = np.argmax(np.abs(train.waveform[spc:2 * spc]))
+        assert peak1 - peak0 == pytest.approx(int(4e-9 * 2e9), abs=1)

@@ -1,0 +1,186 @@
+"""Tests for the antenna, LNA, noise cascade, and nonlinearity models."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FCC_UWB_HIGH_HZ, FCC_UWB_LOW_HZ
+from repro.rf.antenna import PlanarEllipticalAntenna
+from repro.rf.lna import LNA
+from repro.rf.noise import (
+    NoiseStage,
+    cascade_gain_db,
+    cascade_noise_figure_db,
+    thermal_noise_voltage_std,
+)
+from repro.rf.nonlinearity import (
+    RappNonlinearity,
+    iip3_to_coefficient,
+    polynomial_nonlinearity,
+)
+from repro.utils import dsp
+
+
+class TestAntenna:
+    def test_default_dimensions_match_paper(self):
+        antenna = PlanarEllipticalAntenna()
+        assert antenna.length_m == pytest.approx(0.042)
+        assert antenna.width_m == pytest.approx(0.027)
+
+    def test_lower_cutoff_below_fcc_band(self):
+        antenna = PlanarEllipticalAntenna()
+        assert antenna.lower_cutoff_hz < FCC_UWB_LOW_HZ
+
+    def test_gain_rolls_off_at_low_frequency(self):
+        antenna = PlanarEllipticalAntenna()
+        assert antenna.gain_db(500e6) < antenna.gain_db(5e9) - 10.0
+
+    def test_in_band_gain_near_nominal(self):
+        antenna = PlanarEllipticalAntenna(nominal_gain_dbi=2.0)
+        freqs = np.linspace(FCC_UWB_LOW_HZ, FCC_UWB_HIGH_HZ, 64)
+        gains = antenna.gain_db(freqs)
+        assert np.all(gains > -2.0)
+        assert np.all(gains < 5.0)
+
+    def test_return_loss_better_in_band(self):
+        antenna = PlanarEllipticalAntenna()
+        assert antenna.return_loss_db(5e9) < antenna.return_loss_db(500e6)
+
+    def test_covers_fcc_band(self):
+        antenna = PlanarEllipticalAntenna()
+        assert antenna.covers_band(FCC_UWB_LOW_HZ, FCC_UWB_HIGH_HZ,
+                                   max_return_loss_db=-8.0)
+
+    def test_impulse_response_finite_and_short(self):
+        antenna = PlanarEllipticalAntenna()
+        h = antenna.impulse_response(40e9, duration_s=4e-9)
+        assert np.all(np.isfinite(h))
+        # Most energy within the first 2 ns.
+        energy = np.cumsum(h ** 2)
+        idx_90 = np.searchsorted(energy, 0.9 * energy[-1])
+        assert idx_90 / 40e9 < 2.5e-9
+
+    def test_apply_preserves_length(self):
+        antenna = PlanarEllipticalAntenna()
+        x = np.random.default_rng(0).standard_normal(2000)
+        assert antenna.apply(x, 40e9).size == x.size
+
+    def test_scalar_frequency_accessors(self):
+        antenna = PlanarEllipticalAntenna()
+        assert isinstance(antenna.gain_db(5e9), float)
+        assert isinstance(antenna.return_loss_db(5e9), float)
+
+
+class TestNoiseCascade:
+    def test_thermal_noise_voltage(self):
+        # kTB over 500 MHz is 2 pW; across 50 ohm that is 10 uV RMS.
+        std = thermal_noise_voltage_std(500e6, noise_figure_db=0.0)
+        assert std == pytest.approx(10e-6, rel=0.1)
+
+    def test_nf_increases_noise(self):
+        low = thermal_noise_voltage_std(500e6, 0.0)
+        high = thermal_noise_voltage_std(500e6, 10.0)
+        assert high == pytest.approx(low * np.sqrt(10), rel=1e-6)
+
+    def test_friis_single_stage(self):
+        stages = [NoiseStage("lna", 15.0, 3.0)]
+        assert cascade_noise_figure_db(stages) == pytest.approx(3.0)
+
+    def test_friis_front_stage_dominates(self):
+        stages = [NoiseStage("lna", 20.0, 3.0), NoiseStage("mixer", 0.0, 15.0)]
+        total = cascade_noise_figure_db(stages)
+        assert 3.0 < total < 4.5
+
+    def test_friis_order_matters(self):
+        lna = NoiseStage("lna", 20.0, 3.0)
+        mixer = NoiseStage("mixer", 0.0, 12.0)
+        assert cascade_noise_figure_db([lna, mixer]) < \
+            cascade_noise_figure_db([mixer, lna])
+
+    def test_cascade_gain(self):
+        stages = [NoiseStage("a", 10.0, 3.0), NoiseStage("b", 5.0, 3.0)]
+        assert cascade_gain_db(stages) == pytest.approx(15.0)
+
+    def test_empty_cascade_raises(self):
+        with pytest.raises(ValueError):
+            cascade_noise_figure_db([])
+
+
+class TestNonlinearity:
+    def test_polynomial_small_signal_linear(self):
+        x = np.array([1e-4, 2e-4])
+        y = polynomial_nonlinearity(x, gain_linear=10.0, iip3_vpeak=0.5)
+        assert np.allclose(y, 10.0 * x, rtol=1e-3)
+
+    def test_polynomial_compression_at_large_signal(self):
+        y_small = polynomial_nonlinearity(0.01, 10.0, 0.5)
+        y_large = polynomial_nonlinearity(0.3, 10.0, 0.5)
+        assert y_large < 10.0 * 0.3
+        assert y_small == pytest.approx(0.1, rel=0.01)
+
+    def test_iip3_coefficient(self):
+        assert iip3_to_coefficient(1.0, 1.0) == pytest.approx(4.0 / 3.0)
+        with pytest.raises(ValueError):
+            iip3_to_coefficient(1.0, 0.0)
+
+    def test_rapp_small_signal_gain(self):
+        limiter = RappNonlinearity(gain_db=20.0, saturation_v=1.0)
+        x = 1e-4
+        # 20 dB of voltage gain is a factor of 10.
+        assert limiter.apply(np.array([x]))[0] == pytest.approx(10.0 * x, rel=1e-3)
+
+    def test_rapp_saturates(self):
+        limiter = RappNonlinearity(gain_db=20.0, saturation_v=0.5)
+        out = limiter.apply(np.array([10.0]))
+        assert abs(out[0]) <= 0.5 * 1.01
+
+    def test_rapp_complex_preserves_phase(self):
+        limiter = RappNonlinearity(gain_db=0.0, saturation_v=1.0)
+        x = np.array([0.1 * np.exp(1j * 0.7)])
+        out = limiter.apply(x)
+        assert np.angle(out[0]) == pytest.approx(0.7, abs=1e-6)
+
+    def test_rapp_compression_point(self):
+        limiter = RappNonlinearity(gain_db=0.0, saturation_v=1.0, smoothness=2.0)
+        p1db = limiter.output_1db_compression_v()
+        assert 0.3 < p1db < 1.0
+
+
+class TestLNA:
+    def test_small_signal_gain(self):
+        lna = LNA(gain_db=20.0, bandwidth_hz=None, saturation_v=10.0)
+        x = 1e-3 * np.ones(256)
+        out = lna.amplify(x, 2e9, add_noise=False)
+        assert np.median(out) == pytest.approx(1e-2, rel=1e-2)
+
+    def test_noise_added_when_bandwidth_set(self, rng):
+        lna = LNA(gain_db=20.0, noise_figure_db=6.0, bandwidth_hz=500e6)
+        out = lna.amplify(np.zeros(4096), 2e9, rng=rng)
+        assert np.std(out) > 0
+
+    def test_no_noise_flag(self, rng):
+        lna = LNA(gain_db=20.0, noise_figure_db=6.0, bandwidth_hz=500e6)
+        out = lna.amplify(np.zeros(1024), 2e9, rng=rng, add_noise=False)
+        assert np.allclose(out, 0.0)
+
+    def test_input_noise_std_zero_without_bandwidth(self):
+        assert LNA(bandwidth_hz=None).input_noise_std() == 0.0
+
+    def test_compression_limits_output(self):
+        lna = LNA(gain_db=30.0, bandwidth_hz=None, saturation_v=0.5)
+        out = lna.amplify(np.ones(128), 2e9, add_noise=False)
+        assert np.max(np.abs(out)) <= 0.5 * 1.05
+
+    def test_bandpass_mode(self, rng):
+        lna = LNA(gain_db=10.0, bandwidth_hz=1e9, center_frequency_hz=5e9,
+                  saturation_v=10.0)
+        n = 8192
+        fs = 20e9
+        t = np.arange(n) / fs
+        in_band = np.sin(2 * np.pi * 5e9 * t)
+        out_band = np.sin(2 * np.pi * 1e9 * t)
+        out = lna.amplify(in_band + out_band, fs, rng=rng, add_noise=False)
+        # The 1 GHz tone should be strongly attenuated relative to 5 GHz.
+        freqs, psd = dsp.estimate_psd(out, fs, nperseg=4096)
+        idx_in = np.argmin(np.abs(freqs - 5e9))
+        idx_out = np.argmin(np.abs(freqs - 1e9))
+        assert psd[idx_in] > 100 * psd[idx_out]

@@ -1,0 +1,242 @@
+"""Tests for the mixer, local oscillator, PLL, synthesizer, and RF notch."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_BAND_PLAN, FCC_UWB_HIGH_HZ, FCC_UWB_LOW_HZ
+from repro.rf.mixer import DirectConversionMixer
+from repro.rf.notch import AnalogNotchFilter
+from repro.rf.oscillator import LocalOscillator, PhaseLockedLoop
+from repro.rf.synthesizer import FrequencySynthesizer, HoppingSequence
+from repro.utils import dsp
+
+
+class TestLocalOscillator:
+    def test_complex_carrier_unit_magnitude(self):
+        lo = LocalOscillator(frequency_hz=5e9)
+        carrier = lo.complex_carrier(1000, 20e9)
+        assert np.allclose(np.abs(carrier), 1.0)
+
+    def test_frequency_offset_advances_phase(self):
+        lo = LocalOscillator(frequency_hz=1e9, frequency_offset_hz=1e6)
+        phase = lo.phase_trajectory(1000, 10e9)
+        expected_end = 2 * np.pi * (1e9 + 1e6) * (999 / 10e9)
+        assert phase[-1] == pytest.approx(expected_end, rel=1e-9)
+
+    def test_phase_noise_grows_with_time(self, rng):
+        lo = LocalOscillator(frequency_hz=1e9, linewidth_hz=1e5)
+        clean = LocalOscillator(frequency_hz=1e9)
+        noisy_phase = lo.phase_trajectory(20000, 1e9, rng=rng)
+        clean_phase = clean.phase_trajectory(20000, 1e9)
+        deviation = noisy_phase - clean_phase
+        assert np.var(deviation[10000:]) > np.var(deviation[:10000])
+
+    def test_quadrature_outputs_orthogonal(self):
+        lo = LocalOscillator(frequency_hz=100e6)
+        lo_i, lo_q = lo.quadrature_outputs(100000, 2e9)
+        # cos and -sin are orthogonal over many cycles.
+        assert abs(np.mean(lo_i * lo_q)) < 1e-3
+
+    def test_iq_gain_error_scales_q(self):
+        lo = LocalOscillator(frequency_hz=100e6)
+        _, q_ideal = lo.quadrature_outputs(10000, 2e9)
+        _, q_error = lo.quadrature_outputs(10000, 2e9, iq_gain_error=0.1)
+        assert np.max(np.abs(q_error)) == pytest.approx(1.1, rel=1e-3)
+
+
+class TestPLL:
+    def test_output_frequency(self):
+        pll = PhaseLockedLoop(reference_frequency_hz=20e6,
+                              multiplication_factor=100)
+        assert pll.output_frequency_hz == pytest.approx(2e9)
+
+    def test_settling_time_scales_with_bandwidth(self):
+        fast = PhaseLockedLoop(20e6, 100, loop_bandwidth_hz=2e6)
+        slow = PhaseLockedLoop(20e6, 100, loop_bandwidth_hz=0.2e6)
+        assert slow.settling_time_s() > fast.settling_time_s()
+
+    def test_settling_time_reasonable(self):
+        pll = PhaseLockedLoop(20e6, 100, loop_bandwidth_hz=1e6)
+        assert 0.1e-6 < pll.settling_time_s() < 10e-6
+
+    def test_jittered_clock_near_nominal(self, rng):
+        pll = PhaseLockedLoop(20e6, 100, rms_jitter_s=1e-12)
+        times = pll.sample_clock_times(1000, rng=rng)
+        nominal = np.arange(1000) / 2e9
+        assert np.max(np.abs(times - nominal)) < 10e-12
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            PhaseLockedLoop(20e6, 10).settling_time_s(tolerance=2.0)
+
+
+class TestMixer:
+    def test_ideal_downconversion_recovers_envelope(self, rng):
+        fs = 40e9
+        fc = 4.0e9
+        n = 8000
+        t = np.arange(n) / fs
+        envelope = np.exp(-((t - t[n // 2]) / 2e-9) ** 2)
+        passband = envelope * np.cos(2 * np.pi * fc * t)
+        mixer = DirectConversionMixer()
+        lo = LocalOscillator(frequency_hz=fc)
+        baseband = mixer.downconvert(passband, fs, lo,
+                                     lowpass_bandwidth_hz=1e9, rng=rng)
+        core = slice(n // 4, 3 * n // 4)
+        assert np.allclose(np.real(baseband[core]), envelope[core], atol=0.08)
+        assert np.max(np.abs(np.imag(baseband[core]))) < 0.1
+
+    def test_dc_offset_appears_at_output(self, rng):
+        mixer = DirectConversionMixer(dc_offset_i=0.05, dc_offset_q=-0.02)
+        out = mixer.apply_baseband_impairments(np.zeros(1000, dtype=complex),
+                                               1e9, rng=rng)
+        assert np.mean(out.real) == pytest.approx(0.05, abs=1e-6)
+        assert np.mean(out.imag) == pytest.approx(-0.02, abs=1e-6)
+
+    def test_image_rejection_infinite_when_ideal(self):
+        assert DirectConversionMixer().image_rejection_ratio_db() == np.inf
+
+    def test_image_rejection_finite_with_imbalance(self):
+        mixer = DirectConversionMixer(iq_gain_imbalance_db=0.5,
+                                      iq_phase_imbalance_deg=3.0)
+        irr = mixer.image_rejection_ratio_db()
+        assert 15.0 < irr < 45.0
+
+    def test_cfo_rotates_signal(self, rng):
+        mixer = DirectConversionMixer()
+        x = np.ones(1000, dtype=complex)
+        out = mixer.apply_baseband_impairments(
+            x, 1e9, carrier_frequency_offset_hz=1e6, rng=rng)
+        # After 500 ns a 1 MHz offset has rotated by pi.
+        assert np.real(out[500]) == pytest.approx(-1.0, abs=0.01)
+
+    def test_conversion_gain(self, rng):
+        mixer = DirectConversionMixer(conversion_gain_db=6.0)
+        x = np.ones(100, dtype=complex)
+        out = mixer.apply_baseband_impairments(x, 1e9, rng=rng)
+        assert np.abs(out[50]) == pytest.approx(10 ** (6.0 / 20.0), rel=1e-3)
+
+    def test_flicker_noise_power(self, rng):
+        mixer = DirectConversionMixer(flicker_corner_hz=1e6,
+                                      flicker_amplitude=0.01)
+        out = mixer.apply_baseband_impairments(np.zeros(10000, dtype=complex),
+                                               1e9, rng=rng)
+        assert 0 < dsp.signal_power(out) < 1e-2
+
+
+class TestNotch:
+    def test_rejects_tone_at_notch(self):
+        fs = 1e9
+        notch = AnalogNotchFilter(notch_frequency_hz=100e6, quality_factor=30.0)
+        t = np.arange(8192) / fs
+        tone = np.cos(2 * np.pi * 100e6 * t)
+        out = notch.apply(tone, fs)
+        assert dsp.signal_power(out) < 0.05 * dsp.signal_power(tone)
+
+    def test_passes_distant_frequency(self):
+        fs = 1e9
+        notch = AnalogNotchFilter(notch_frequency_hz=100e6, quality_factor=30.0)
+        t = np.arange(8192) / fs
+        tone = np.cos(2 * np.pi * 300e6 * t)
+        out = notch.apply(tone, fs)
+        assert dsp.signal_power(out) > 0.8 * dsp.signal_power(tone)
+
+    def test_complex_baseband_negative_frequency_notch(self):
+        fs = 1e9
+        notch = AnalogNotchFilter(notch_frequency_hz=-80e6, quality_factor=30.0)
+        n = np.arange(8192)
+        tone = np.exp(-1j * 2 * np.pi * 80e6 * n / fs)
+        out = notch.apply(tone, fs)
+        assert dsp.signal_power(out) < 0.1 * dsp.signal_power(tone)
+
+    def test_disabled_notch_is_passthrough(self):
+        notch = AnalogNotchFilter(notch_frequency_hz=100e6, enabled=False)
+        x = np.random.default_rng(0).standard_normal(512)
+        assert np.array_equal(notch.apply(x, 1e9), x)
+
+    def test_tune_changes_frequency(self):
+        notch = AnalogNotchFilter(notch_frequency_hz=50e6)
+        notch.tune(120e6)
+        assert notch.notch_frequency_hz == pytest.approx(120e6)
+
+    def test_rejection_at_notch_frequency_is_large(self):
+        notch = AnalogNotchFilter(notch_frequency_hz=100e6, quality_factor=30.0)
+        assert notch.rejection_at_db(100e6, 1e9) > 20.0
+
+    def test_rejection_away_from_notch_is_small(self):
+        notch = AnalogNotchFilter(notch_frequency_hz=100e6, quality_factor=30.0)
+        assert notch.rejection_at_db(200e6, 1e9) < 3.0
+
+    def test_invalid_frequency_raises(self):
+        notch = AnalogNotchFilter(notch_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            notch.apply(np.ones(64), 1e9)
+
+
+class TestSynthesizer:
+    def test_channel_selection(self):
+        synth = FrequencySynthesizer()
+        synth.select_channel(5)
+        assert synth.current_channel == 5
+        assert synth.current_frequency_hz == pytest.approx(
+            DEFAULT_BAND_PLAN.center_frequency(5))
+
+    def test_hop_penalty(self):
+        synth = FrequencySynthesizer(hop_time_s=10e-9)
+        synth.select_channel(0)
+        assert synth.select_channel(0) == 0.0
+        assert synth.select_channel(1) == pytest.approx(10e-9)
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            FrequencySynthesizer().select_channel(14)
+
+    def test_local_oscillator_frequency(self):
+        synth = FrequencySynthesizer(initial_channel=3)
+        lo = synth.local_oscillator()
+        assert lo.frequency_hz == pytest.approx(
+            DEFAULT_BAND_PLAN.center_frequency(3))
+        assert lo.frequency_offset_hz == 0.0
+
+    def test_local_oscillator_tolerance(self, rng):
+        synth = FrequencySynthesizer(initial_channel=0,
+                                     frequency_tolerance_ppm=40.0)
+        lo = synth.local_oscillator(rng=rng)
+        max_offset = synth.current_frequency_hz * 40e-6
+        assert abs(lo.frequency_offset_hz) <= max_offset
+
+    def test_hop_sequence_duration(self):
+        synth = FrequencySynthesizer(hop_time_s=9e-9, initial_channel=0)
+        duration = synth.hop_sequence_duration_s([1, 2, 2, 3])
+        assert duration == pytest.approx(3 * 9e-9)
+
+
+class TestHoppingSequence:
+    def test_round_robin_covers_all_channels(self):
+        seq = HoppingSequence.round_robin()
+        channels = {seq.channel_for_symbol(i) for i in range(14)}
+        assert channels == set(range(14))
+
+    def test_cyclic_behaviour(self):
+        seq = HoppingSequence(channels=(2, 5, 9))
+        assert seq.channel_for_symbol(3) == 2
+        assert seq.channel_for_symbol(4) == 5
+
+    def test_frequencies_in_fcc_band(self):
+        seq = HoppingSequence.round_robin()
+        for i in range(14):
+            freq = seq.frequency_for_symbol(i)
+            assert FCC_UWB_LOW_HZ < freq < FCC_UWB_HIGH_HZ
+
+    def test_random_sequence_valid(self, rng):
+        seq = HoppingSequence.random(20, rng=rng)
+        assert len(seq.channels) == 20
+        assert all(0 <= c < 14 for c in seq.channels)
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(ValueError):
+            HoppingSequence(channels=(99,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HoppingSequence(channels=())

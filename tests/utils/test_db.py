@@ -1,0 +1,97 @@
+"""Tests for decibel and power-unit conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.db import (
+    amplitude_to_db,
+    db_to_amplitude,
+    db_to_linear,
+    dbm_to_vrms,
+    dbm_to_watts,
+    linear_to_db,
+    noise_figure_to_temperature,
+    temperature_to_noise_figure,
+    vrms_to_dbm,
+    watts_to_dbm,
+)
+
+
+class TestBasicConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_amplitude(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_twenty_db_amplitude_is_factor_ten(self):
+        assert db_to_amplitude(20.0) == pytest.approx(10.0)
+
+    def test_three_db_is_roughly_two(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_of_zero_is_finite(self):
+        assert np.isfinite(linear_to_db(0.0))
+        assert linear_to_db(0.0) < -3000.0
+
+    def test_array_input_preserves_shape(self):
+        values = np.array([0.0, 10.0, 20.0])
+        assert db_to_linear(values).shape == values.shape
+
+    def test_negative_db_is_attenuation(self):
+        assert db_to_linear(-10.0) == pytest.approx(0.1)
+
+
+class TestPowerUnits:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_roundtrip(self):
+        assert watts_to_dbm(dbm_to_watts(-41.3)) == pytest.approx(-41.3)
+
+    def test_dbm_to_vrms_at_50_ohm(self):
+        # 0 dBm in 50 ohm is 223.6 mV RMS.
+        assert dbm_to_vrms(0.0) == pytest.approx(0.2236, rel=1e-3)
+
+    def test_vrms_roundtrip(self):
+        assert vrms_to_dbm(dbm_to_vrms(-14.3)) == pytest.approx(-14.3)
+
+
+class TestNoiseFigure:
+    def test_zero_nf_is_zero_kelvin(self):
+        assert noise_figure_to_temperature(0.0) == pytest.approx(0.0)
+
+    def test_three_db_nf_is_about_290k(self):
+        assert noise_figure_to_temperature(3.0103) == pytest.approx(290.0, rel=1e-3)
+
+    def test_roundtrip(self):
+        for nf in (0.5, 3.0, 6.0, 10.0):
+            temp = noise_figure_to_temperature(nf)
+            assert temperature_to_noise_figure(temp) == pytest.approx(nf, rel=1e-9)
+
+
+class TestProperties:
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_db_linear_roundtrip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(value_db,
+                                                                     abs=1e-9)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_linear_db_roundtrip(self, value):
+        assert db_to_linear(linear_to_db(value)) == pytest.approx(value, rel=1e-9)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0),
+           st.floats(min_value=-60.0, max_value=60.0))
+    def test_db_addition_is_linear_multiplication(self, a_db, b_db):
+        product = db_to_linear(a_db) * db_to_linear(b_db)
+        assert product == pytest.approx(db_to_linear(a_db + b_db), rel=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_amplitude_db_roundtrip(self, value_db):
+        assert amplitude_to_db(db_to_amplitude(value_db)) == pytest.approx(
+            value_db, abs=1e-9)

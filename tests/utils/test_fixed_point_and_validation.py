@@ -1,0 +1,129 @@
+"""Tests for fixed-point quantization and argument validation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.fixed_point import (
+    FixedPointFormat,
+    quantization_noise_power,
+    quantize_fixed,
+)
+from repro.utils.validation import (
+    as_1d_array,
+    require_in_range,
+    require_int,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_same_length,
+)
+
+
+class TestFixedPointFormat:
+    def test_num_levels_and_step(self):
+        fmt = FixedPointFormat(total_bits=4, full_scale=1.0)
+        assert fmt.num_levels == 16
+        assert fmt.step == pytest.approx(0.125)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=0)
+
+    def test_quantize_within_step(self):
+        fmt = FixedPointFormat(total_bits=6, full_scale=1.0)
+        x = np.linspace(-0.99, 0.99, 101)
+        q = fmt.quantize(x)
+        assert np.all(np.abs(q - x) <= fmt.step / 2 + 1e-12)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(total_bits=4, full_scale=1.0)
+        q = fmt.quantize(np.array([10.0, -10.0]))
+        assert q[0] <= 1.0
+        assert q[1] >= -1.0
+
+    def test_codes_roundtrip(self):
+        fmt = FixedPointFormat(total_bits=5, full_scale=2.0)
+        codes = fmt.quantize_to_codes(np.linspace(-1.9, 1.9, 40))
+        values = fmt.codes_to_values(codes)
+        assert np.all(values <= 2.0)
+        assert np.all(values >= -2.0)
+
+    def test_codes_out_of_range_raise(self):
+        fmt = FixedPointFormat(total_bits=3)
+        with pytest.raises(ValueError):
+            fmt.codes_to_values(np.array([100]))
+
+    def test_complex_quantization(self):
+        fmt = FixedPointFormat(total_bits=8)
+        x = np.array([0.3 + 0.4j, -0.2 - 0.9j])
+        q = fmt.quantize(x)
+        assert np.iscomplexobj(q)
+        assert np.all(np.abs(q.real - x.real) <= fmt.step)
+        assert np.all(np.abs(q.imag - x.imag) <= fmt.step)
+
+    def test_quantization_noise_power_formula(self):
+        assert quantization_noise_power(4, 1.0) == pytest.approx(0.125 ** 2 / 12)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-0.9, 0.9, 1000)
+        err4 = np.mean((quantize_fixed(x, 4) - x) ** 2)
+        err8 = np.mean((quantize_fixed(x, 8) - x) ** 2)
+        assert err8 < err4 / 10
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.floats(min_value=-0.999, max_value=0.999))
+    @settings(max_examples=50)
+    def test_quantizer_monotonic_and_bounded(self, bits, value):
+        fmt = FixedPointFormat(total_bits=bits, full_scale=1.0)
+        q = float(fmt.quantize(value))
+        assert -1.0 <= q <= 1.0
+        assert abs(q - value) <= fmt.step
+
+
+class TestValidation:
+    def test_require_positive_accepts(self):
+        assert require_positive(3.0, "x") == 3.0
+
+    def test_require_positive_rejects(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                require_positive(bad, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(5.0, 0.0, 10.0, "x") == 5.0
+        with pytest.raises(ValueError):
+            require_in_range(11.0, 0.0, 10.0, "x")
+        with pytest.raises(ValueError):
+            require_in_range(0.0, 0.0, 10.0, "x", inclusive=False)
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+
+    def test_require_int(self):
+        assert require_int(4, "n") == 4
+        with pytest.raises(TypeError):
+            require_int(4.0, "n")
+        with pytest.raises(TypeError):
+            require_int(True, "n")
+        with pytest.raises(ValueError):
+            require_int(2, "n", minimum=3)
+
+    def test_as_1d_array(self):
+        assert as_1d_array(3.0, "x").shape == (1,)
+        assert as_1d_array([1, 2, 3], "x").shape == (3,)
+        with pytest.raises(ValueError):
+            as_1d_array(np.zeros((2, 2)), "x")
+
+    def test_require_same_length(self):
+        require_same_length([1, 2], [3, 4], "a", "b")
+        with pytest.raises(ValueError):
+            require_same_length([1], [1, 2], "a", "b")
