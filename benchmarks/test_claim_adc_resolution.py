@@ -2,12 +2,17 @@
 narrowband interferer regime are sufficient."
 
 The benchmark sweeps the receiver ADC resolution from 1 to 6 bits in two
-regimes:
+regimes, as one grid on the batched sweep engine:
 
-* **noise-limited**: AWGN only, at an Eb/N0 where the full-resolution
-  receiver is essentially error-free;
-* **interferer-limited**: the same link plus a strong in-band narrowband
-  interferer, with the back end's spectral monitor + digital notch engaged.
+* **noise-limited**: the ``awgn`` scenario at an Eb/N0 where the
+  full-resolution receiver is essentially error-free;
+* **interferer-limited**: the ``narrowband`` scenario (strong in-band CW
+  interferer) with the digital notch engaged.
+
+The batch backend places its notch at the scenario's known frequency (a
+genie estimate), so the benchmark also cross-checks the extreme
+resolutions through the full per-packet stack, where the spectral monitor
+has to *find* the interferer and drive the notch control loop itself.
 
 Expected shape (the paper's claim): in the noise-limited regime even the
 1-bit receiver works (small loss versus 5-bit); with the interferer the
@@ -20,51 +25,65 @@ import pytest
 from repro.channel.interference import ToneInterferer
 from repro.core.config import Gen2Config
 from repro.core.transceiver import Gen2Transceiver
+from repro.sim import SweepEngine, sweep_grid
 
 from bench_utils import format_ber, print_header, print_table
 
 EBN0_DB = 14.0
-NUM_PACKETS = 4
+NUM_PACKETS = 16
 PAYLOAD_BITS = 64
-INTERFERER_AMPLITUDE = 2.0     # strong in-band CW interferer
-INTERFERER_FREQUENCY = 130e6   # offset from the sub-band centre
+RESOLUTIONS = (1, 2, 3, 4, 5, 6)
+FULL_STACK_PACKETS = 4
+INTERFERER_AMPLITUDE = 2.0     # matches the 'narrowband' scenario
+INTERFERER_FREQUENCY = 130e6
 
 
-def _base_config(adc_bits: int, notch: bool) -> Gen2Config:
+def _base_config(notch: bool) -> Gen2Config:
     return Gen2Config.fast_test_config().with_changes(
-        adc_bits=adc_bits,
         enable_digital_notch=notch,
         adc_comparator_noise_std=0.0,
         adc_capacitor_mismatch_std=0.0)
 
 
-def _measure_ber(adc_bits: int, with_interferer: bool) -> float:
-    config = _base_config(adc_bits, notch=with_interferer)
+def _run_adc_sweep():
+    noise_engine = SweepEngine(config=_base_config(notch=False), seed=41)
+    noise_result = noise_engine.run(
+        sweep_grid([EBN0_DB], scenarios=("awgn",), adc_bits=RESOLUTIONS),
+        num_packets=NUM_PACKETS, payload_bits_per_packet=PAYLOAD_BITS)
+    interferer_engine = SweepEngine(config=_base_config(notch=True), seed=41)
+    interferer_result = interferer_engine.run(
+        sweep_grid([EBN0_DB], scenarios=("narrowband",),
+                   adc_bits=RESOLUTIONS),
+        num_packets=NUM_PACKETS, payload_bits_per_packet=PAYLOAD_BITS)
+    noise_only = {
+        bits: noise_result.curve(scenario="awgn", adc_bits=bits).points[0].ber
+        for bits in RESOLUTIONS}
+    interferer = {
+        bits: interferer_result.curve(scenario="narrowband",
+                                      adc_bits=bits).points[0].ber
+        for bits in RESOLUTIONS}
+    full_stack = {bits: _full_stack_interferer_ber(bits) for bits in (1, 5)}
+    return {"resolutions": RESOLUTIONS, "noise_only": noise_only,
+            "interferer": interferer, "full_stack": full_stack}
+
+
+def _full_stack_interferer_ber(adc_bits: int) -> float:
+    """Interferer-regime BER through the whole per-packet receive chain:
+    spectral monitor estimates the frequency, the control loop engages the
+    digital notch — no genie knowledge."""
+    config = _base_config(notch=True).with_changes(adc_bits=adc_bits)
     transceiver = Gen2Transceiver(config, rng=np.random.default_rng(41))
     errors = 0
     total = 0
-    for index in range(NUM_PACKETS):
-        interferer = None
-        if with_interferer:
-            interferer = ToneInterferer(frequency_hz=INTERFERER_FREQUENCY,
-                                        amplitude=INTERFERER_AMPLITUDE)
+    for index in range(FULL_STACK_PACKETS):
         simulation = transceiver.simulate_packet(
             num_payload_bits=PAYLOAD_BITS, ebn0_db=EBN0_DB,
-            interferer=interferer,
+            interferer=ToneInterferer(frequency_hz=INTERFERER_FREQUENCY,
+                                      amplitude=INTERFERER_AMPLITUDE),
             rng=np.random.default_rng(1000 + index))
         errors += simulation.result.payload_bit_errors
         total += simulation.result.num_payload_bits
     return errors / total
-
-
-def _run_adc_sweep():
-    resolutions = [1, 2, 3, 4, 5, 6]
-    noise_only = {bits: _measure_ber(bits, with_interferer=False)
-                  for bits in resolutions}
-    interferer = {bits: _measure_ber(bits, with_interferer=True)
-                  for bits in resolutions}
-    return {"resolutions": resolutions, "noise_only": noise_only,
-            "interferer": interferer}
 
 
 @pytest.mark.benchmark(group="claim-adc")
@@ -73,15 +92,20 @@ def test_claim_adc_resolution(benchmark):
 
     print_header("CLAIM-ADC",
                  "BER vs ADC resolution, noise-limited vs narrowband-interferer")
-    print(f"Eb/N0 = {EBN0_DB} dB, interferer amplitude = "
-          f"{INTERFERER_AMPLITUDE} (in-band CW), digital notch engaged "
-          "in the interferer regime")
+    print(f"Eb/N0 = {EBN0_DB} dB, 'narrowband' scenario (strong in-band CW), "
+          "digital notch engaged in the interferer regime")
     print()
     print_table(
         ["ADC bits", "BER (noise only)", "BER (with interferer)"],
         [[bits, format_ber(results["noise_only"][bits]),
           format_ber(results["interferer"][bits])]
          for bits in results["resolutions"]])
+
+    full_stack = results["full_stack"]
+    print()
+    print("full-stack cross-check (spectral monitor + notch control loop): "
+          f"1-bit {format_ber(full_stack[1])}, "
+          f"5-bit {format_ber(full_stack[5])}")
 
     noise_only = results["noise_only"]
     interferer = results["interferer"]
@@ -93,3 +117,7 @@ def test_claim_adc_resolution(benchmark):
     # ... while a >= 4-bit converter (plus the notch) restores the link.
     assert interferer[4] < 0.05
     assert interferer[5] < 0.05
+    # The full stack — where the spectral monitor must find the interferer
+    # itself — reproduces the same two endpoints.
+    assert full_stack[1] > 0.05
+    assert full_stack[5] < 0.05

@@ -19,6 +19,8 @@ The package is organized by subsystem:
 * :mod:`repro.power` — per-block power models and system budgets.
 * :mod:`repro.core` — the two transceiver generations, link simulation and
   the power/QoS/data-rate adaptation controller.
+* :mod:`repro.sim` — the batched Monte-Carlo sweep engine and the scenario
+  registry (the fast path for BER grids across many environments).
 * :mod:`repro.prototype` — the discrete prototype platform and the
   modulation-scheme comparison.
 
@@ -42,6 +44,7 @@ from repro import (
     prototype,
     pulses,
     rf,
+    sim,
     utils,
 )
 from repro.constants import DEFAULT_BAND_PLAN, BandPlan
@@ -59,6 +62,7 @@ __all__ = [
     "prototype",
     "pulses",
     "rf",
+    "sim",
     "utils",
     "BandPlan",
     "DEFAULT_BAND_PLAN",

@@ -9,7 +9,9 @@ blocks are exercised against.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -21,8 +23,26 @@ __all__ = [
     "ToneInterferer",
     "ModulatedInterferer",
     "MultiToneInterferer",
+    "accepts_rng",
     "interferer_amplitude_for_sir",
 ]
+
+
+@lru_cache(maxsize=None)
+def _type_method_accepts_rng(cls: type, method_name: str) -> bool:
+    return "rng" in inspect.signature(getattr(cls, method_name)).parameters
+
+
+def accepts_rng(obj, method_name: str) -> bool:
+    """Whether ``obj.<method_name>`` accepts an ``rng`` keyword.
+
+    Deterministic generators (tones) take no ``rng``; modulated ones do.
+    Callers that feed interferers a seeded generator use this to dispatch
+    without trial-and-error (an ``except TypeError`` would mask bugs inside
+    the method).  Cached per type so per-packet loops pay no reflection
+    cost.
+    """
+    return _type_method_accepts_rng(type(obj), method_name)
 
 
 def interferer_amplitude_for_sir(signal, sir_db: float,

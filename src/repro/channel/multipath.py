@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from scipy import signal as sp_signal
+
 from repro.utils import dsp
 from repro.utils.validation import require_positive
 
@@ -132,16 +134,35 @@ class MultipathChannel:
 
         With ``keep_length`` the output is truncated to the input length
         (what a fixed-length receive buffer would capture); otherwise the
-        full convolution tail is returned.
+        full convolution tail is returned.  This is the per-packet wrapper
+        around :meth:`apply_batch`.
         """
         signal = np.asarray(signal)
+        return self.apply_batch(signal[np.newaxis, :], sample_rate_hz,
+                                keep_length=keep_length)[0]
+
+    def apply_batch(self, signals, sample_rate_hz: float,
+                    keep_length: bool = True) -> np.ndarray:
+        """Convolve a batch of waveforms with the channel in one FFT pass.
+
+        ``signals`` has shape ``(..., num_samples)``; the channel is applied
+        along the last axis to every waveform in the batch, which is how the
+        sweep engine pushes whole Monte-Carlo batches through the channel
+        without a Python loop.  With ``keep_length`` the output keeps the
+        input sample count, otherwise the convolution tail is returned too.
+        """
+        signals = np.asarray(signals)
+        if signals.ndim < 2:
+            raise ValueError("apply_batch expects a (..., num_samples) batch; "
+                             "use apply() for a single waveform")
         h = self.discrete_impulse_response(sample_rate_hz)
-        if np.iscomplexobj(signal) or np.iscomplexobj(h):
-            signal = signal.astype(complex)
+        if np.iscomplexobj(signals) or np.iscomplexobj(h):
+            signals = signals.astype(complex)
             h = h.astype(complex)
-        out = np.convolve(signal, h, mode="full")
+        h = h.reshape((1,) * (signals.ndim - 1) + h.shape)
+        out = sp_signal.fftconvolve(signals, h, mode="full", axes=-1)
         if keep_length:
-            return out[: signal.size]
+            return out[..., : signals.shape[-1]]
         return out
 
     def combined_with(self, other: "MultipathChannel") -> "MultipathChannel":

@@ -31,23 +31,34 @@ class AcquisitionStatistics:
 
     @property
     def detection_probability(self) -> float:
-        """Fraction of packets whose preamble was detected."""
+        """Fraction of packets whose preamble was detected.
+
+        ``nan`` when no packets were recorded — "no data" must not read as
+        "never detects".
+        """
         if self.attempts == 0:
-            return 0.0
+            return float("nan")
         return self.detections / self.attempts
 
     @property
     def mean_search_time_s(self) -> float:
-        """Average back-end search latency of the detected packets."""
+        """Average back-end search latency of the detected packets.
+
+        ``nan`` when no packet was detected (there is no latency to report).
+        """
         if not self.search_times_s:
-            return 0.0
+            return float("nan")
         return float(np.mean(self.search_times_s))
 
     @property
     def rms_timing_error_samples(self) -> float:
-        """RMS timing error of the detected packets."""
+        """RMS timing error of the detected packets.
+
+        ``nan`` when no packet was detected — a ``0.0`` here would read as
+        perfect timing.
+        """
         if not self.timing_errors_samples:
-            return 0.0
+            return float("nan")
         return float(np.sqrt(np.mean(np.square(self.timing_errors_samples))))
 
     def record(self, detected: bool, timing_error_samples: int,
@@ -120,6 +131,29 @@ class LinkSimulator:
                 channel_factory=channel_factory,
                 interferer_factory=interferer_factory,
                 **packet_kwargs))
+        return curve
+
+    def ber_sweep_batched(self, ebn0_values_db, label: str = "link",
+                          num_packets: int = 10,
+                          payload_bits_per_packet: int = 64,
+                          seed: int = 0) -> BERCurve:
+        """Fast Eb/N0 sweep via the vectorized batch kernel.
+
+        Thin wrapper over :class:`repro.sim.batch.BatchedLinkModel` for the
+        common AWGN case; use :class:`repro.sim.SweepEngine` directly for
+        multi-scenario / multi-modulation grids and process-pool
+        parallelism.  The batch path is genie-timed (no acquisition or
+        channel-estimation loss), so it matches :meth:`ber_sweep` within
+        Monte-Carlo tolerance only at operating points where
+        synchronization is reliable.
+        """
+        model = self.transceiver.batch_model()
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        curve = BERCurve(label=label)
+        for ebn0_db in ebn0_values_db:
+            result = model.simulate(float(ebn0_db), num_packets,
+                                    payload_bits_per_packet, rng=rng)
+            curve.add(result.to_ber_point())
         return curve
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.awgn import awgn, noise_std_for_ebn0
+from repro.channel.interference import accepts_rng
 from repro.channel.multipath import MultipathChannel
 from repro.core.config import Gen1Config, Gen2Config
 from repro.core.metrics import PacketResult
@@ -105,7 +106,12 @@ class _Transceiver:
         waveform = self._apply_channel(tx.waveform, channel, sample_rate)
         waveform = self._apply_impairments(waveform, rng)
         if interferer is not None:
-            waveform = interferer.add_to(waveform, sample_rate)
+            # Modulated interferers draw random symbols; feed them the
+            # packet rng so seeded simulations stay deterministic.
+            if accepts_rng(interferer, "add_to"):
+                waveform = interferer.add_to(waveform, sample_rate, rng=rng)
+            else:
+                waveform = interferer.add_to(waveform, sample_rate)
         if ebn0_db is not None:
             noise_std = noise_std_for_ebn0(energy_per_bit, ebn0_db)
             waveform = awgn(waveform, noise_std, rng=rng)
@@ -122,6 +128,20 @@ class _Transceiver:
     def data_rate_bps(self) -> float:
         """Uncoded channel bit rate of the configured waveform."""
         return self.config.data_rate_bps
+
+    def batch_model(self, modulation: str = "bpsk", quantize: bool = True,
+                    notch_frequency_hz: float | None = None):
+        """Vectorized fast path for this configuration.
+
+        Returns a :class:`repro.sim.batch.BatchedLinkModel` sharing this
+        transceiver's configuration — the batch-capable kernel the sweep
+        engine uses, with ``simulate_packet`` remaining the per-packet
+        reference implementation.
+        """
+        from repro.sim.batch import BatchedLinkModel
+        return BatchedLinkModel(self.config, modulation=modulation,
+                                quantize=quantize,
+                                notch_frequency_hz=notch_frequency_hz)
 
 
 class Gen1Transceiver(_Transceiver):

@@ -1,0 +1,65 @@
+"""repro.sim: batched Monte-Carlo sweep engine and scenario registry.
+
+This package is the fast path for regenerating the paper's quantitative
+claims at scale.  Where :class:`repro.core.link.LinkSimulator` simulates one
+packet at a time through the full transceiver stack, the
+:class:`SweepEngine` vectorizes packet generation, channel application,
+AWGN, and demodulation over a batch axis and runs whole grids of operating
+points — (Eb/N0 x modulation x channel scenario x ADC resolution) — with
+per-point seeded random streams and optional process-pool parallelism.
+
+Usage::
+
+    import numpy as np
+    from repro.sim import SweepEngine, sweep_grid
+
+    engine = SweepEngine(generation="gen2", seed=7)
+
+    # One curve: Eb/N0 sweep over a clean AWGN link.
+    curve = engine.ber_curve(np.arange(0.0, 12.0, 2.0),
+                             scenario="awgn", num_packets=64)
+    print(curve.as_rows())
+
+    # A full grid: two scenarios x two modulations x an ADC-resolution axis,
+    # fanned out over 4 worker processes.
+    grid = sweep_grid(np.arange(0.0, 12.0, 2.0),
+                      scenarios=("awgn", "cm3"),
+                      modulations=("bpsk", "ook"),
+                      adc_bits=(1, 4))
+    result = SweepEngine(seed=7, max_workers=4).run(grid, num_packets=64)
+    for label, curve in result.curves().items():
+        print(label, curve.ber_values())
+
+Scenarios are resolved by name against :data:`repro.sim.SCENARIOS`
+(AWGN, two-ray, exponential-decay, 802.15.3a CM1-CM4, narrowband and
+partial-band interference, gen-1/gen-2 baseline presets); register custom
+environments with :meth:`ScenarioRegistry.register`.
+
+Two backends share the same grid interface: ``backend="batch"`` (default)
+is the vectorized genie-timed kernel in :mod:`repro.sim.batch`;
+``backend="packet"`` drives the full per-packet transceiver stack when
+acquisition, channel estimation, and CRC behaviour must be included.
+"""
+
+from repro.sim.batch import BatchedLinkModel, BatchResult, pulse_for_config
+from repro.sim.engine import SweepEngine, SweepPoint, SweepResult, sweep_grid
+from repro.sim.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchedLinkModel",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRegistry",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepResult",
+    "default_registry",
+    "pulse_for_config",
+    "sweep_grid",
+]

@@ -1,0 +1,296 @@
+"""Grid-level Monte-Carlo sweep engine.
+
+A :class:`SweepEngine` runs whole grids of operating points — Eb/N0 x
+modulation x channel scenario x ADC resolution — through either the
+vectorized batch kernel (:class:`repro.sim.batch.BatchedLinkModel`, the
+default) or the full per-packet transceiver stack (``backend="packet"``,
+bit-exact with the legacy :class:`repro.core.link.LinkSimulator` flow).
+
+Reproducibility: every grid point gets its own :class:`numpy.random
+.Generator` keyed on the engine seed *and the point's content* (not its
+grid position), so results are identical for the same seed no matter how
+the grid is ordered, chunked, or spread across worker processes.  The flip
+side: duplicated points in one grid share a stream and return identical
+measurements — use different seeds (or engines) to replicate a point.
+
+Parallelism: pass ``max_workers`` to fan grid points out over a
+``concurrent.futures.ProcessPoolExecutor``.  Scenarios shipped to workers
+must be picklable — every built-in scenario is; custom scenarios should use
+module-level factory functions rather than lambdas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.metrics import BERCurve, BERPoint
+from repro.sim.batch import BatchedLinkModel
+from repro.sim.scenarios import SCENARIOS, Scenario, ScenarioRegistry
+from repro.utils.validation import require_int
+
+__all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One operating point of a sweep grid."""
+
+    ebn0_db: float
+    scenario: str = "awgn"
+    modulation: str = "bpsk"
+    adc_bits: int | None = None
+
+    def curve_key(self) -> tuple[str, str, int | None]:
+        """Grouping key: all points sharing it belong to one BER curve."""
+        return (self.scenario, self.modulation, self.adc_bits)
+
+
+def sweep_grid(ebn0_values_db, scenarios=("awgn",), modulations=("bpsk",),
+               adc_bits=(None,)) -> tuple[SweepPoint, ...]:
+    """The Cartesian product of the sweep axes as grid points.
+
+    Eb/N0 varies fastest, so consecutive points of the same curve stay
+    adjacent (helpful when eyeballing partial results).
+    """
+    return tuple(
+        SweepPoint(ebn0_db=float(ebn0), scenario=scenario,
+                   modulation=modulation, adc_bits=bits)
+        for scenario, modulation, bits, ebn0
+        in product(scenarios, modulations, adc_bits, ebn0_values_db))
+
+
+@dataclass
+class SweepResult:
+    """All measured points of one sweep, grouped into curves on demand."""
+
+    entries: list[tuple[SweepPoint, BERPoint]] = field(default_factory=list)
+
+    def curve(self, scenario: str = "awgn", modulation: str = "bpsk",
+              adc_bits: int | None = None,
+              label: str | None = None) -> BERCurve:
+        """The BER curve of one (scenario, modulation, adc_bits) combination.
+
+        Raises ``KeyError`` when no swept point matches, so a mistyped (or
+        forgotten) axis value fails here rather than as an empty plot
+        downstream.
+        """
+        key = (scenario, modulation, adc_bits)
+        if label is None:
+            label = self._label_for(key)
+        curve = BERCurve(label=label)
+        for point, measurement in self.entries:
+            if point.curve_key() == key:
+                curve.add(measurement)
+        if not curve.points:
+            available = sorted({self._label_for(point.curve_key())
+                                for point, _ in self.entries})
+            raise KeyError(f"no swept points match {self._label_for(key)!r}; "
+                           f"swept curves: {', '.join(available) or '(none)'}")
+        return curve
+
+    def curves(self) -> dict[str, BERCurve]:
+        """Every curve in the sweep, keyed by a readable label."""
+        result: dict[str, BERCurve] = {}
+        for point, measurement in self.entries:
+            label = self._label_for(point.curve_key())
+            result.setdefault(label, BERCurve(label=label)).add(measurement)
+        return result
+
+    @staticmethod
+    def _label_for(key: tuple[str, str, int | None]) -> str:
+        scenario, modulation, adc_bits = key
+        label = f"{scenario}/{modulation}"
+        if adc_bits is not None:
+            label += f"/adc{adc_bits}"
+        return label
+
+
+@dataclass(frozen=True)
+class _PointTask:
+    """Everything a worker process needs to measure one grid point."""
+
+    point: SweepPoint
+    scenario: Scenario
+    config: object | None
+    generation: str
+    backend: str
+    quantize: bool
+    num_packets: int
+    payload_bits_per_packet: int
+    seed_entropy: object
+    spawn_key: tuple
+
+
+def _point_spawn_key(point: SweepPoint) -> tuple[int, ...]:
+    """A stable ``SeedSequence`` spawn key derived from the point's content.
+
+    Keying streams on content rather than grid position keeps results
+    identical when the grid is reordered, chunked, or sharded.
+    """
+    text = repr((float(point.ebn0_db), point.scenario, point.modulation,
+                 point.adc_bits))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return tuple(int.from_bytes(digest[i:i + 4], "little")
+                 for i in range(0, 16, 4))
+
+
+def _resolve_config(task: _PointTask):
+    config = task.config
+    if config is None:
+        config = (Gen1Config.fast_test_config()
+                  if task.generation == "gen1"
+                  else Gen2Config.fast_test_config())
+    if task.point.adc_bits is not None:
+        config = config.with_changes(adc_bits=task.point.adc_bits)
+    return config
+
+
+def _run_point(task: _PointTask) -> BERPoint:
+    """Measure one grid point (runs in the caller or a worker process)."""
+    root = np.random.SeedSequence(entropy=task.seed_entropy,
+                                  spawn_key=task.spawn_key)
+    scenario_seed, noise_seed, hardware_seed = root.spawn(3)
+    scenario_rng = np.random.default_rng(scenario_seed)
+    noise_rng = np.random.default_rng(noise_seed)
+
+    config = _resolve_config(task)
+    scenario = task.scenario
+    point = task.point
+
+    if task.backend == "batch":
+        notch = (scenario.notch_frequency_hz
+                 if getattr(config, "enable_digital_notch", False) else None)
+        model = BatchedLinkModel(config, modulation=point.modulation,
+                                 quantize=task.quantize,
+                                 notch_frequency_hz=notch)
+        result = model.simulate(
+            point.ebn0_db, task.num_packets, task.payload_bits_per_packet,
+            rng=noise_rng,
+            channel=scenario.make_channel(scenario_rng),
+            interferer=scenario.make_interferer(scenario_rng))
+        return result.to_ber_point()
+
+    # backend == "packet": the legacy full-stack flow, one packet at a time.
+    if point.modulation != "bpsk":
+        raise ValueError("the packet backend drives the full transceiver, "
+                         "which is BPSK-only; use backend='batch' for other "
+                         "modulations")
+    from repro.core.transceiver import Gen1Transceiver, Gen2Transceiver
+    hardware_rng = np.random.default_rng(hardware_seed)
+    transceiver_cls = (Gen1Transceiver if isinstance(config, Gen1Config)
+                       else Gen2Transceiver)
+    transceiver = transceiver_cls(config, rng=hardware_rng)
+    bit_errors = 0
+    total_bits = 0
+    packets_failed = 0
+    for _ in range(task.num_packets):
+        simulation = transceiver.simulate_packet(
+            num_payload_bits=task.payload_bits_per_packet,
+            ebn0_db=point.ebn0_db,
+            channel=scenario.make_channel(scenario_rng),
+            interferer=scenario.make_interferer(scenario_rng),
+            rng=noise_rng)
+        bit_errors += simulation.result.payload_bit_errors
+        total_bits += simulation.result.num_payload_bits
+        if not simulation.result.packet_success:
+            packets_failed += 1
+    return BERPoint(ebn0_db=point.ebn0_db, bit_errors=bit_errors,
+                    total_bits=total_bits, packets_sent=task.num_packets,
+                    packets_failed=packets_failed)
+
+
+class SweepEngine:
+    """Batched Monte-Carlo driver for grids of link operating points.
+
+    Parameters
+    ----------
+    config:
+        Base transceiver configuration; ``None`` picks the generation's
+        ``fast_test_config``.  Per-point ``adc_bits`` overrides are applied
+        on top of it.
+    generation:
+        ``"gen1"`` or ``"gen2"``; scenarios with a pinned generation
+        override this.
+    registry:
+        Scenario registry to resolve names against (default: the shared
+        :data:`repro.sim.scenarios.SCENARIOS`).
+    seed:
+        Root seed; each grid point derives an independent child stream, so
+        equal seeds give identical results whatever the execution order.
+    backend:
+        ``"batch"`` (vectorized fast path) or ``"packet"`` (full per-packet
+        transceiver stack, slower but bit-exact with ``LinkSimulator``).
+    quantize:
+        Batch backend only: model AGC + ADC quantization (default on).
+    max_workers:
+        When set (> 1), grid points are distributed over that many worker
+        processes.
+    """
+
+    def __init__(self, config=None, generation: str = "gen2",
+                 registry: ScenarioRegistry | None = None, seed: int = 0,
+                 backend: str = "batch", quantize: bool = True,
+                 max_workers: int | None = None) -> None:
+        if generation not in ("gen1", "gen2"):
+            raise ValueError("generation must be 'gen1' or 'gen2'")
+        if backend not in ("batch", "packet"):
+            raise ValueError("backend must be 'batch' or 'packet'")
+        if max_workers is not None:
+            require_int(max_workers, "max_workers", minimum=1)
+        self.config = config
+        self.generation = generation
+        self.registry = registry if registry is not None else SCENARIOS
+        self.seed = int(seed)
+        self.backend = backend
+        self.quantize = bool(quantize)
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    # Grid execution
+    # ------------------------------------------------------------------
+    def run(self, points, num_packets: int = 32,
+            payload_bits_per_packet: int = 64) -> SweepResult:
+        """Measure every grid point and return the collected results."""
+        points = tuple(points)
+        require_int(num_packets, "num_packets", minimum=1)
+        require_int(payload_bits_per_packet, "payload_bits_per_packet",
+                    minimum=1)
+        tasks = []
+        for point in points:
+            scenario = self.registry.get(point.scenario)
+            tasks.append(_PointTask(
+                point=point,
+                scenario=scenario,
+                config=self.config,
+                generation=scenario.generation or self.generation,
+                backend=self.backend,
+                quantize=self.quantize,
+                num_packets=num_packets,
+                payload_bits_per_packet=payload_bits_per_packet,
+                seed_entropy=self.seed,
+                spawn_key=_point_spawn_key(point)))
+        if self.max_workers is not None and self.max_workers > 1 \
+                and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                measurements = list(pool.map(_run_point, tasks))
+        else:
+            measurements = [_run_point(task) for task in tasks]
+        return SweepResult(entries=list(zip(points, measurements)))
+
+    def ber_curve(self, ebn0_values_db, scenario: str = "awgn",
+                  modulation: str = "bpsk", adc_bits: int | None = None,
+                  num_packets: int = 32, payload_bits_per_packet: int = 64,
+                  label: str | None = None) -> BERCurve:
+        """Sweep Eb/N0 for one environment and return the BER curve."""
+        points = sweep_grid(ebn0_values_db, scenarios=(scenario,),
+                            modulations=(modulation,), adc_bits=(adc_bits,))
+        result = self.run(points, num_packets=num_packets,
+                          payload_bits_per_packet=payload_bits_per_packet)
+        return result.curve(scenario=scenario, modulation=modulation,
+                            adc_bits=adc_bits, label=label)

@@ -16,3 +16,29 @@ def rng_factory():
     def make(seed: int = 0):
         return np.random.default_rng(seed)
     return make
+
+
+@pytest.fixture
+def small_sweep_grid():
+    """A four-point AWGN grid small enough for sub-second sim tests.
+
+    ``repro.sim`` is imported lazily so a breakage there cannot take down
+    collection of the unrelated suites sharing this conftest.
+    """
+    from repro.sim import sweep_grid
+    return sweep_grid([2.0, 4.0, 6.0, 8.0], scenarios=("awgn",))
+
+
+@pytest.fixture
+def engine_factory():
+    """Factory producing seeded sweep engines with test-sized defaults.
+
+    Keyword arguments are forwarded to :class:`repro.sim.SweepEngine`, so
+    tests can ask for a different backend, generation, or worker count
+    while sharing one seeding convention.
+    """
+    from repro.sim import SweepEngine
+
+    def make(seed: int = 0, **kwargs) -> SweepEngine:
+        return SweepEngine(seed=seed, **kwargs)
+    return make

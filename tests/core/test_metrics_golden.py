@@ -1,0 +1,84 @@
+"""Golden regression tests for the closed-form BER expressions.
+
+The theoretical curves are what every benchmark compares measurements
+against; a silent change to them would invalidate every claim table.  The
+pinned values are the textbook AWGN results (e.g. BPSK at 0 dB is the
+classic 7.86e-2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    qfunc,
+    theoretical_bpsk_ber,
+    theoretical_ook_ber,
+    theoretical_ppm_ber,
+)
+from repro.sim import BatchedLinkModel
+from repro.core.config import Gen2Config
+
+# (Eb/N0 [dB], BPSK, OOK, PPM) — Q(sqrt(2 Eb/N0)) and Q(sqrt(Eb/N0)).
+GOLDEN = [
+    (0.0, 7.864960352514e-02, 1.586552539315e-01, 1.586552539315e-01),
+    (4.0, 1.250081804074e-02, 5.649530174936e-02, 5.649530174936e-02),
+    (8.0, 1.909077740760e-04, 6.004386400164e-03, 6.004386400164e-03),
+    (10.0, 3.872108215522e-06, 7.827011290013e-04, 7.827011290013e-04),
+]
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("ebn0_db,bpsk,ook,ppm", GOLDEN)
+    def test_pinned_points(self, ebn0_db, bpsk, ook, ppm):
+        assert float(theoretical_bpsk_ber(ebn0_db)) == pytest.approx(
+            bpsk, rel=1e-9)
+        assert float(theoretical_ook_ber(ebn0_db)) == pytest.approx(
+            ook, rel=1e-9)
+        assert float(theoretical_ppm_ber(ebn0_db)) == pytest.approx(
+            ppm, rel=1e-9)
+
+    def test_qfunc_anchors(self):
+        assert float(qfunc(0.0)) == pytest.approx(0.5, rel=1e-12)
+        # Q(1) and Q(3): standard normal tail probabilities.
+        assert float(qfunc(1.0)) == pytest.approx(1.586552539315e-01, rel=1e-9)
+        assert float(qfunc(3.0)) == pytest.approx(1.349898031630e-03, rel=1e-9)
+
+    def test_vectorized_evaluation(self):
+        grid = np.array([row[0] for row in GOLDEN])
+        expected = np.array([row[1] for row in GOLDEN])
+        np.testing.assert_allclose(theoretical_bpsk_ber(grid), expected,
+                                   rtol=1e-9)
+
+
+class TestCurveRelationships:
+    def test_curves_monotonically_decrease(self):
+        grid = np.linspace(-2.0, 14.0, 30)
+        for curve in (theoretical_bpsk_ber, theoretical_ook_ber,
+                      theoretical_ppm_ber):
+            values = curve(grid)
+            assert np.all(np.diff(values) < 0)
+
+    def test_bpsk_has_three_db_advantage(self):
+        """Antipodal signalling needs exactly 3.01 dB less Eb/N0 than
+        orthogonal/unipolar for the same error rate."""
+        grid = np.linspace(0.0, 10.0, 11)
+        shift_db = 10.0 * np.log10(2.0)
+        np.testing.assert_allclose(theoretical_bpsk_ber(grid),
+                                   theoretical_ook_ber(grid + shift_db),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(theoretical_ook_ber(grid),
+                                   theoretical_ppm_ber(grid), rtol=1e-12)
+
+
+class TestMeasuredTracksTheory:
+    @pytest.mark.parametrize("ebn0_db", [2.0, 4.0])
+    def test_awgn_bpsk_within_three_sigma(self, ebn0_db, rng):
+        """Measured matched-filter BPSK BER stays inside the 3-sigma
+        binomial band around the closed form."""
+        model = BatchedLinkModel(Gen2Config.fast_test_config(),
+                                 modulation="bpsk", quantize=False)
+        result = model.simulate(ebn0_db, num_packets=100,
+                                payload_bits_per_packet=100, rng=rng)
+        theory = float(theoretical_bpsk_ber(ebn0_db))
+        sigma = np.sqrt(theory * (1.0 - theory) / result.total_bits)
+        assert abs(result.ber - theory) <= 3.0 * sigma
