@@ -25,6 +25,7 @@ import pytest
 from repro.channel.interference import ToneInterferer
 from repro.core.config import Gen2Config
 from repro.core.transceiver import Gen2Transceiver
+from repro.runs import RunDriver
 from repro.sim import SweepEngine, sweep_grid
 
 from bench_utils import format_ber, print_header, print_table
@@ -45,16 +46,32 @@ def _base_config(notch: bool) -> Gen2Config:
         adc_capacitor_mismatch_std=0.0)
 
 
-def _run_adc_sweep():
-    noise_engine = SweepEngine(config=_base_config(notch=False), seed=41)
-    noise_result = noise_engine.run(
-        sweep_grid([EBN0_DB], scenarios=("awgn",), adc_bits=RESOLUTIONS),
-        num_packets=NUM_PACKETS, payload_bits_per_packet=PAYLOAD_BITS)
-    interferer_engine = SweepEngine(config=_base_config(notch=True), seed=41)
-    interferer_result = interferer_engine.run(
+def _cached_regime_result(run_dir, engine, grid):
+    """One regime's sweep through a persistent ``repro.runs`` run.
+
+    The two configs (notch on/off) digest differently, so each regime
+    caches under its own key space; a re-run of either must be pure cache
+    hits.
+    """
+    driver = RunDriver.create(run_dir, engine, grid,
+                              num_packets=NUM_PACKETS,
+                              payload_bits_per_packet=PAYLOAD_BITS)
+    driver.run_shard(0)
+    rerun = RunDriver.open(run_dir, engine=engine).run_shard(0)
+    assert rerun.all_cached, "identical re-run hit the simulator"
+    return driver.merge()
+
+
+def _run_adc_sweep(runs_dir):
+    noise_result = _cached_regime_result(
+        runs_dir / "noise_limited",
+        SweepEngine(config=_base_config(notch=False), seed=41),
+        sweep_grid([EBN0_DB], scenarios=("awgn",), adc_bits=RESOLUTIONS))
+    interferer_result = _cached_regime_result(
+        runs_dir / "interferer_limited",
+        SweepEngine(config=_base_config(notch=True), seed=41),
         sweep_grid([EBN0_DB], scenarios=("narrowband",),
-                   adc_bits=RESOLUTIONS),
-        num_packets=NUM_PACKETS, payload_bits_per_packet=PAYLOAD_BITS)
+                   adc_bits=RESOLUTIONS))
     noise_only = {
         bits: noise_result.curve(scenario="awgn", adc_bits=bits).points[0].ber
         for bits in RESOLUTIONS}
@@ -87,8 +104,9 @@ def _full_stack_interferer_ber(adc_bits: int) -> float:
 
 
 @pytest.mark.benchmark(group="claim-adc")
-def test_claim_adc_resolution(benchmark):
-    results = benchmark.pedantic(_run_adc_sweep, rounds=1, iterations=1)
+def test_claim_adc_resolution(benchmark, tmp_path):
+    results = benchmark.pedantic(_run_adc_sweep, args=(tmp_path,),
+                                 rounds=1, iterations=1)
 
     print_header("CLAIM-ADC",
                  "BER vs ADC resolution, noise-limited vs narrowband-interferer")

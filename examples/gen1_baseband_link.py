@@ -6,17 +6,22 @@ entirely in the digital domain.  The demonstrated link ran at 193 kbps and
 packet synchronization completed in under 70 us.
 
 This example reproduces the accounting behind those numbers, sweeps the
-link with the batched sweep engine (the fast path), and spot-checks
-acquisition with the full per-packet stack.
+link through a persistent ``repro.runs`` run — so a second sweep of the
+same grid is served entirely from the content-addressed result store —
+and spot-checks acquisition with the full per-packet stack.
 
 Run with:  python examples/gen1_baseband_link.py
 """
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
 from repro.core import Gen1Config, Gen1Transceiver, LinkSimulator
 from repro.dsp import acquisition_time_s
-from repro.sim import SweepEngine
+from repro.runs import RunDriver, export_curves, load_artifact
+from repro.sim import SweepEngine, sweep_grid
 
 
 def paper_rate_accounting() -> None:
@@ -44,16 +49,35 @@ def paper_rate_accounting() -> None:
 
 def monte_carlo_link() -> None:
     # The batched sweep engine vectorizes the Monte-Carlo loop, so a dense
-    # Eb/N0 sweep with many packets per point costs well under a second.
+    # Eb/N0 sweep with many packets per point costs well under a second —
+    # and running it through repro.runs persists every measured point in a
+    # content-addressed store, so repeating the sweep costs nothing at all.
     engine = SweepEngine(generation="gen1", seed=21)
-    curve = engine.ber_curve(np.arange(0.0, 14.0, 2.0),
-                             scenario="gen1_baseline",
-                             num_packets=50, payload_bits_per_packet=48)
+    grid = sweep_grid(np.arange(0.0, 14.0, 2.0),
+                      scenarios=("gen1_baseline",))
 
-    print("Monte-Carlo link (batched sweep engine, 50 packets per point)")
-    print(f"{'Eb/N0 [dB]':>10} {'BER':>12} {'PER':>6}")
-    for ebn0, ber, per in curve.as_rows():
-        print(f"{ebn0:>10.1f} {ber:>12.3e} {per:>6.2f}")
+    with tempfile.TemporaryDirectory() as scratch:
+        run_dir = Path(scratch) / "gen1_baseline"
+        driver = RunDriver.create(run_dir, engine, grid, num_packets=50,
+                                  payload_bits_per_packet=48)
+        first = driver.run_shard(0)
+        second = RunDriver.open(run_dir).run_shard(0)
+
+        # Downstream consumers read the exported artifact, not in-memory
+        # arrays — the same files `python -m repro merge` writes.
+        artifact = export_curves(driver.merge(), driver.artifacts_dir,
+                                 "gen1_baseline",
+                                 metadata={"seed": engine.seed})
+        curve = load_artifact(artifact.json_path).curve("gen1_baseline/bpsk")
+
+        print("Monte-Carlo link (cached repro.runs sweep, 50 packets per point)")
+        print(f"  first pass  : {first.points_simulated} points simulated")
+        print(f"  second pass : {second.points_cached} points served from "
+              "the result store"
+              + (" (zero simulation work)" if second.all_cached else ""))
+        print(f"{'Eb/N0 [dB]':>10} {'BER':>12} {'PER':>6}")
+        for ebn0, ber, per in curve.as_rows():
+            print(f"{ebn0:>10.1f} {ber:>12.3e} {per:>6.2f}")
     print()
 
     # Acquisition is a full-stack behaviour (the batched path is

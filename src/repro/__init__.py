@@ -21,6 +21,9 @@ The package is organized by subsystem:
   the power/QoS/data-rate adaptation controller.
 * :mod:`repro.sim` — the batched Monte-Carlo sweep engine and the scenario
   registry (the fast path for BER grids across many environments).
+* :mod:`repro.runs` — persistent sweep runs: the content-addressed result
+  store, the sharded/resumable run driver, curve artifacts and the
+  ``python -m repro`` CLI.
 * :mod:`repro.prototype` — the discrete prototype platform and the
   modulation-scheme comparison.
 
@@ -33,6 +36,10 @@ Quick start::
     print(simulation.result.crc_ok, simulation.result.bit_error_rate)
 """
 
+# Defined before the subpackage imports so modules imported below (e.g.
+# repro.runs.driver) can read the version during package initialization.
+__version__ = "1.1.0"
+
 from repro import (
     adc,
     channel,
@@ -44,12 +51,11 @@ from repro import (
     prototype,
     pulses,
     rf,
+    runs,
     sim,
     utils,
 )
 from repro.constants import DEFAULT_BAND_PLAN, BandPlan
-
-__version__ = "1.0.0"
 
 __all__ = [
     "adc",
@@ -62,6 +68,7 @@ __all__ = [
     "prototype",
     "pulses",
     "rf",
+    "runs",
     "sim",
     "utils",
     "BandPlan",

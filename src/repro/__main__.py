@@ -1,0 +1,8 @@
+"""``python -m repro`` dispatches to the run-subsystem CLI."""
+
+import sys
+
+from repro.runs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

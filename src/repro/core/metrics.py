@@ -93,6 +93,59 @@ class BERPoint:
             return 1.0
         return self.packets_failed / self.packets_sent
 
+    def merge(self, other: "BERPoint") -> "BERPoint":
+        """Pool this measurement with another one of the same operating point.
+
+        Error and packet counts are additive, so independently simulated
+        batches (cache chunks, escalated ``num_packets`` runs) combine into
+        one tighter estimate.  Raises ``ValueError`` when the Eb/N0 values
+        differ — pooling across operating points is a bug, not a merge.
+        """
+        if not isinstance(other, BERPoint):
+            raise TypeError("merge() expects a BERPoint")
+        if float(other.ebn0_db) != float(self.ebn0_db):
+            raise ValueError(
+                f"cannot merge BER points at different operating points "
+                f"({self.ebn0_db} dB vs {other.ebn0_db} dB)")
+        return BERPoint(
+            ebn0_db=self.ebn0_db,
+            bit_errors=self.bit_errors + other.bit_errors,
+            total_bits=self.total_bits + other.total_bits,
+            packets_sent=self.packets_sent + other.packets_sent,
+            packets_failed=self.packets_failed + other.packets_failed)
+
+    def to_dict(self) -> dict:
+        """Plain-type mapping for JSON persistence (see ``from_dict``)."""
+        return {"ebn0_db": float(self.ebn0_db),
+                "bit_errors": int(self.bit_errors),
+                "total_bits": int(self.total_bits),
+                "packets_sent": int(self.packets_sent),
+                "packets_failed": int(self.packets_failed)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BERPoint":
+        """Rebuild a point from :meth:`to_dict` output, validating counts."""
+        try:
+            point = cls(ebn0_db=float(data["ebn0_db"]),
+                        bit_errors=int(data["bit_errors"]),
+                        total_bits=int(data["total_bits"]),
+                        packets_sent=int(data["packets_sent"]),
+                        packets_failed=int(data["packets_failed"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed BER point record: {error}") from None
+        if not np.isfinite(point.ebn0_db):
+            raise ValueError("malformed BER point record: non-finite ebn0_db")
+        if min(point.bit_errors, point.total_bits, point.packets_sent,
+               point.packets_failed) < 0:
+            raise ValueError("malformed BER point record: negative count")
+        if point.bit_errors > point.total_bits:
+            raise ValueError("malformed BER point record: more bit errors "
+                             "than bits")
+        if point.packets_failed > point.packets_sent:
+            raise ValueError("malformed BER point record: more failed "
+                             "packets than packets sent")
+        return point
+
 
 @dataclass
 class BERCurve:

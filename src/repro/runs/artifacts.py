@@ -1,0 +1,120 @@
+"""Named curve-set artifacts: the files benchmarks and examples consume.
+
+An artifact is one sweep's curves written as a pair of files —
+``<name>.csv`` (flat rows, one per measured point, for spreadsheets and
+plotting scripts) and ``<name>.json`` (the same data plus metadata:
+seed, digests, packet budget, code version) — written atomically so a
+crashed export never leaves a half-written file behind.  Loading
+round-trips back into :class:`repro.core.metrics.BERCurve` objects, so
+downstream code works with curves whether they were just simulated or
+read from disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.metrics import BERCurve, BERPoint
+from repro.utils.io import atomic_write_text
+
+__all__ = ["Artifact", "export_curves", "load_artifact"]
+
+_ARTIFACT_VERSION = 1
+
+_CSV_COLUMNS = ("curve", "ebn0_db", "ber", "per", "bit_errors",
+                "total_bits", "packets_sent", "packets_failed")
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One exported curve set: its files, curves and metadata."""
+
+    name: str
+    csv_path: Path
+    json_path: Path
+    curves: dict[str, BERCurve]
+    metadata: dict
+
+    def curve(self, label: str) -> BERCurve:
+        try:
+            return self.curves[label]
+        except KeyError:
+            known = ", ".join(sorted(self.curves)) or "(none)"
+            raise KeyError(f"artifact {self.name!r} has no curve "
+                           f"{label!r}; curves: {known}") from None
+
+
+def export_curves(result, directory, name: str,
+                  metadata: dict | None = None) -> Artifact:
+    """Write a sweep result's curves as a named CSV + JSON artifact.
+
+    ``result`` is a :class:`repro.sim.SweepResult` (anything with a
+    ``curves() -> dict[str, BERCurve]`` method works).  ``metadata`` is
+    stored verbatim in the JSON file — run drivers put the manifest
+    summary (seed, digests, packet budget) there so an artifact is
+    self-describing.
+    """
+    if not name or "/" in name or name.startswith("."):
+        raise ValueError(f"artifact name {name!r} must be a plain filename "
+                         "stem")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    curves = result.curves()
+
+    csv_path = directory / f"{name}.csv"
+    rows = []
+    for label in sorted(curves):
+        for point in curves[label].points:
+            rows.append([label, repr(float(point.ebn0_db)),
+                         repr(point.ber), repr(point.per),
+                         point.bit_errors, point.total_bits,
+                         point.packets_sent, point.packets_failed])
+    import io
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    writer.writerows(rows)
+    atomic_write_text(csv_path, buffer.getvalue())
+
+    json_path = directory / f"{name}.json"
+    payload = {
+        "artifact_version": _ARTIFACT_VERSION,
+        "name": name,
+        "metadata": dict(metadata or {}),
+        "curves": [{"label": label,
+                    "points": [point.to_dict()
+                               for point in curves[label].points]}
+                   for label in sorted(curves)],
+    }
+    atomic_write_text(json_path, json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+    return Artifact(name=name, csv_path=csv_path, json_path=json_path,
+                    curves=curves, metadata=dict(metadata or {}))
+
+
+def load_artifact(json_path) -> Artifact:
+    """Load a curve-set artifact previously written by :func:`export_curves`."""
+    json_path = Path(json_path)
+    data = json.loads(json_path.read_text(encoding="utf-8"))
+    if data.get("artifact_version") != _ARTIFACT_VERSION:
+        raise ValueError("unsupported artifact version "
+                         f"{data.get('artifact_version')!r}")
+    curves: dict[str, BERCurve] = {}
+    try:
+        for entry in data["curves"]:
+            label = str(entry["label"])
+            curve = BERCurve(label=label)
+            for record in entry["points"]:
+                curve.add(BERPoint.from_dict(record))
+            curves[label] = curve
+        name = str(data["name"])
+        metadata = dict(data.get("metadata", {}))
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed artifact {json_path}: {error}") \
+            from None
+    return Artifact(name=name,
+                    csv_path=json_path.with_suffix(".csv"),
+                    json_path=json_path, curves=curves, metadata=metadata)

@@ -1,0 +1,332 @@
+"""``python -m repro`` — run sweeps against the content-addressed store.
+
+Subcommands:
+
+``sweep``
+    Create (or re-open) a run directory and execute one shard of the
+    grid.  Re-invoking with identical arguments performs zero simulation
+    work: every point is served from the store.
+
+    .. code-block:: shell
+
+        python -m repro sweep --scenario cm1 --mod bpsk --ebn0 0:12:1 \\
+            --packets 20000 --shard 0/4 --out runs/
+
+``resume``
+    Execute every shard of an existing run that has no completion marker
+    (after a crash, or to finish shards locally that were planned for
+    other machines).
+
+``merge``
+    Merge all shard outputs into one curve set, print it and export it as
+    a named CSV/JSON artifact under ``<run>/artifacts/``.
+
+``show``
+    Print a run's manifest summary, per-shard status and cache coverage.
+
+Grid axes accept comma-separated lists (``--scenario awgn,cm1``); the
+Eb/N0 axis also accepts ``start:stop:step`` with an *inclusive* stop
+(``--ebn0 0:12:1`` is the thirteen integer points 0..12 dB).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.runs.artifacts import export_curves
+from repro.runs.driver import RunDriver, RunManifest
+from repro.runs.store import ResultStore
+from repro.sim.engine import SweepEngine, sweep_grid
+
+__all__ = ["build_parser", "main"]
+
+
+# ----------------------------------------------------------------------
+# Argument parsing helpers
+# ----------------------------------------------------------------------
+def parse_ebn0_axis(text: str) -> tuple[float, ...]:
+    """``"0:12:1"`` (inclusive stop) or ``"0,4,8"`` -> Eb/N0 values in dB."""
+    text = text.strip()
+    try:
+        if ":" in text:
+            parts = text.split(":")
+            if len(parts) == 2:
+                parts.append("1")
+            if len(parts) != 3:
+                raise ValueError("expected start:stop[:step]")
+            start, stop, step = (float(part) for part in parts)
+            if not np.isfinite([start, stop, step]).all():
+                raise ValueError("values must be finite")
+            if step <= 0:
+                raise ValueError("step must be positive")
+            if stop < start:
+                raise ValueError("stop must be >= start")
+            count = int(np.floor((stop - start) / step + 1e-9)) + 1
+            return tuple(float(start + index * step)
+                         for index in range(count))
+        values = tuple(float(part) for part in text.split(",")
+                       if part.strip())
+        if not np.isfinite(values).all():
+            raise ValueError("values must be finite")
+        return values
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad Eb/N0 axis {text!r}: {error} (use start:stop:step with "
+            "an inclusive stop, or a comma-separated list)") from None
+
+
+def parse_name_axis(text: str) -> tuple[str, ...]:
+    values = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty axis {text!r}")
+    return values
+
+
+def parse_adc_bits_axis(text: str) -> tuple[int | None, ...]:
+    """``"none"`` (config default), ``"1,4"``, or a mix of both."""
+    values: list[int | None] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.lower() in ("none", "default"):
+            values.append(None)
+            continue
+        try:
+            values.append(int(part))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad adc-bits axis value {part!r} (integer or 'none')") \
+                from None
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty adc-bits axis {text!r}")
+    return tuple(values)
+
+
+def parse_shard_spec(text: str) -> tuple[int, int]:
+    """``"i/k"`` -> (shard index, shard count), validated."""
+    try:
+        index_text, _, total_text = text.partition("/")
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad shard spec {text!r} (expected i/k, e.g. 0/4)") from None
+    if total < 1 or not 0 <= index < total:
+        raise argparse.ArgumentTypeError(
+            f"bad shard spec {text!r}: need 0 <= i < k")
+    return index, total
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cached, sharded Monte-Carlo sweeps over the UWB link "
+                    "simulator.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser(
+        "sweep", help="execute one shard of a (possibly new) sweep run")
+    sweep.add_argument("--ebn0", type=parse_ebn0_axis, required=True,
+                       metavar="START:STOP:STEP|LIST",
+                       help="Eb/N0 axis in dB; stop is inclusive")
+    sweep.add_argument("--scenario", type=parse_name_axis, default=("awgn",),
+                       metavar="NAME[,NAME...]",
+                       help="channel scenario axis (default: awgn)")
+    sweep.add_argument("--mod", type=parse_name_axis, default=("bpsk",),
+                       metavar="NAME[,NAME...]",
+                       help="modulation axis (default: bpsk)")
+    sweep.add_argument("--adc-bits", type=parse_adc_bits_axis,
+                       default=(None,), metavar="BITS[,BITS...]",
+                       help="ADC resolution axis; 'none' keeps the config "
+                            "default")
+    sweep.add_argument("--packets", type=int, default=32, metavar="N",
+                       help="packets per grid point (default: 32)")
+    sweep.add_argument("--payload-bits", type=int, default=64, metavar="N",
+                       help="payload bits per packet (default: 64)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="engine root seed (default: 0)")
+    sweep.add_argument("--generation", choices=("gen1", "gen2"),
+                       default="gen2", help="transceiver generation")
+    sweep.add_argument("--backend", choices=("batch", "packet"),
+                       default="batch", help="simulation backend")
+    sweep.add_argument("--no-quantize", action="store_true",
+                       help="batch backend: skip AGC + ADC quantization")
+    sweep.add_argument("--shard", type=parse_shard_spec, default=(0, 1),
+                       metavar="I/K",
+                       help="execute shard I of K (default: 0/1)")
+    sweep.add_argument("--out", default="runs", metavar="DIR",
+                       help="directory holding run directories "
+                            "(default: runs)")
+    sweep.add_argument("--name", default=None,
+                       help="run name (default: derived from the grid "
+                            "digest)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="simulate cache misses on N threads")
+
+    resume = commands.add_parser(
+        "resume", help="finish every incomplete shard of an existing run")
+    resume.add_argument("--run", required=True, metavar="DIR",
+                        help="run directory (as printed by sweep)")
+    resume.add_argument("--workers", type=int, default=None, metavar="N")
+
+    merge = commands.add_parser(
+        "merge", help="merge shard outputs and export a curve artifact")
+    merge.add_argument("--run", required=True, metavar="DIR")
+    merge.add_argument("--name", default=None,
+                       help="artifact name (default: the run name)")
+    merge.add_argument("--allow-partial", action="store_true",
+                       help="merge whatever is measured so far")
+
+    show = commands.add_parser(
+        "show", help="print a run's manifest, shard status and coverage")
+    show.add_argument("--run", required=True, metavar="DIR")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def _print_curves(result, out) -> None:
+    print(f"{'curve':<24} {'Eb/N0 [dB]':>10} {'BER':>12} {'PER':>8}",
+          file=out)
+    curves = result.curves()
+    for label in sorted(curves):
+        for point in curves[label].points:
+            print(f"{label:<24} {point.ebn0_db:>10.2f} {point.ber:>12.3e} "
+                  f"{point.per:>8.3f}", file=out)
+
+
+def _engine_from_args(args) -> SweepEngine:
+    return SweepEngine(generation=args.generation, seed=args.seed,
+                       backend=args.backend, quantize=not args.no_quantize)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _command_sweep(args, out) -> int:
+    from pathlib import Path
+    engine = _engine_from_args(args)
+    points = sweep_grid(args.ebn0, scenarios=args.scenario,
+                        modulations=args.mod, adc_bits=args.adc_bits)
+    shard_index, num_shards = args.shard
+    name = args.name
+    if name is None:
+        naming = RunManifest(
+            name="unnamed", seed=engine.seed, generation=engine.generation,
+            backend=engine.backend, quantize=engine.quantize,
+            custom_config=False, config_digest=engine.config_digest(),
+            num_packets=args.packets,
+            payload_bits_per_packet=args.payload_bits,
+            num_shards=num_shards, code_version="", points=points)
+        name = "sweep-" + naming.grid_digest()[:12]
+    run_dir = Path(args.out) / name
+    driver = RunDriver.create(run_dir, engine, points,
+                              num_packets=args.packets,
+                              payload_bits_per_packet=args.payload_bits,
+                              num_shards=num_shards, name=name)
+    manifest = driver.manifest
+    print(f"run: {run_dir} (grid {manifest.grid_digest()[:12]}, "
+          f"seed {manifest.seed}, {len(manifest.points)} point(s), "
+          f"{manifest.num_packets} packets/point)", file=out)
+    report = driver.run_shard(shard_index, max_workers=args.workers)
+    print(report.summary(), file=out)
+    if driver.is_complete:
+        print(f"run complete: all {manifest.num_shards} shard(s) done; "
+              f"merge with: python -m repro merge --run {run_dir}",
+              file=out)
+    else:
+        pending = ", ".join(str(index) for index in driver.pending_shards())
+        print(f"pending shard(s): {pending} (execute them with --shard, or "
+              f"python -m repro resume --run {run_dir})", file=out)
+    return 0
+
+
+def _command_resume(args, out) -> int:
+    driver = RunDriver.open(args.run)
+    pending = driver.pending_shards()
+    if not pending:
+        print(f"run {args.run}: nothing to resume, all "
+              f"{driver.manifest.num_shards} shard(s) done", file=out)
+        return 0
+    for shard_index in pending:
+        report = driver.run_shard(shard_index, max_workers=args.workers)
+        print(report.summary(), file=out)
+    print(f"run complete: all {driver.manifest.num_shards} shard(s) done",
+          file=out)
+    return 0
+
+
+def _command_merge(args, out) -> int:
+    driver = RunDriver.open(args.run)
+    result = driver.merge(strict=not args.allow_partial)
+    manifest = driver.manifest
+    name = args.name if args.name is not None else manifest.name
+    artifact = export_curves(result, driver.artifacts_dir, name, metadata={
+        "run": manifest.name,
+        "seed": manifest.seed,
+        "grid_digest": manifest.grid_digest(),
+        "config_digest": manifest.config_digest,
+        "num_packets": manifest.num_packets,
+        "payload_bits_per_packet": manifest.payload_bits_per_packet,
+        "num_shards": manifest.num_shards,
+        "code_version": manifest.code_version,
+    })
+    print(f"merged {len(result.entries)} of {len(manifest.points)} "
+          f"point(s) into {artifact.json_path} (+ .csv)", file=out)
+    _print_curves(result, out)
+    return 0
+
+
+def _command_show(args, out) -> int:
+    driver = RunDriver.open(args.run)
+    manifest = driver.manifest
+    store = ResultStore(driver.store_dir)
+    measured = sum(
+        1 for point in manifest.points
+        if store.lookup(driver._key_for(point), manifest.num_packets)
+        is not None)
+    print(f"run       : {manifest.name}", file=out)
+    print(f"grid      : {len(manifest.points)} point(s), digest "
+          f"{manifest.grid_digest()[:12]}", file=out)
+    print(f"engine    : {manifest.generation}/{manifest.backend} seed "
+          f"{manifest.seed} quantize={manifest.quantize}", file=out)
+    print(f"budget    : {manifest.num_packets} packets/point x "
+          f"{manifest.payload_bits_per_packet} payload bits", file=out)
+    print(f"code      : {manifest.code_version}", file=out)
+    print(f"coverage  : {measured}/{len(manifest.points)} point(s) measured",
+          file=out)
+    if store.corrupt_records:
+        print(f"warning   : {store.corrupt_records} corrupt store "
+              "record(s) skipped", file=out)
+    for shard_index, status in sorted(driver.shard_status().items()):
+        print(f"shard {shard_index:>3} : {status}", file=out)
+    if measured:
+        _print_curves(driver.merge(strict=False), out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = sys.stdout if out is None else out
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {"sweep": _command_sweep, "resume": _command_resume,
+               "merge": _command_merge, "show": _command_show}[args.command]
+    try:
+        return handler(args, out)
+    except (ValueError, KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly (and point
+        # stdout at devnull so the interpreter's exit flush stays silent).
+        import os
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0

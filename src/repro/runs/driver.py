@@ -1,0 +1,491 @@
+"""Sharded, resumable run driver over the content-addressed result store.
+
+A *run* is a directory:
+
+.. code-block:: text
+
+    runs/<name>/
+        manifest.json               # grid, seed, digests, shard plan
+        store/                      # ResultStore cache directory
+            shard-000-of-004.jsonl  # one append-only file per shard writer
+            ...
+        shards/
+            shard-000-of-004.done   # completion marker per shard
+        artifacts/                  # named curve exports (repro.runs.artifacts)
+
+The manifest pins everything needed to reproduce the grid — the explicit
+point list, engine seed/generation/backend, config digest, packet budget
+and the code version that created it — so a shard can execute on any
+machine that sees the directory (or a copy of it): shard ``i`` of ``k``
+always owns points ``i, i+k, i+2k, ...`` of the manifest order.  Because
+the sweep engine keys every point's random stream on point *content*,
+shard outputs merge into results bit-identical to an unsharded run, in
+any execution order, and a crashed shard resumes by re-running: points
+already in the store are served from cache.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.metrics import BERPoint
+from repro.sim.engine import SweepEngine, SweepPoint, SweepResult
+from repro.runs.store import ResultStore, measurement_key
+from repro.utils.io import atomic_write_text
+from repro.utils.validation import require_int
+
+__all__ = ["RunManifest", "RunReport", "RunDriver"]
+
+_MANIFEST_VERSION = 1
+_MANIFEST_NAME = "manifest.json"
+_STORE_DIR = "store"
+_SHARDS_DIR = "shards"
+_ARTIFACTS_DIR = "artifacts"
+
+
+def _code_version() -> str:
+    import repro
+    return getattr(repro, "__version__", "unknown")
+
+
+def _point_to_dict(point: SweepPoint) -> dict:
+    return {"ebn0_db": float(point.ebn0_db), "scenario": point.scenario,
+            "modulation": point.modulation, "adc_bits": point.adc_bits}
+
+
+def _point_from_dict(data: dict) -> SweepPoint:
+    adc_bits = data["adc_bits"]
+    return SweepPoint(ebn0_db=float(data["ebn0_db"]),
+                      scenario=str(data["scenario"]),
+                      modulation=str(data["modulation"]),
+                      adc_bits=None if adc_bits is None else int(adc_bits))
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything that identifies and reproduces one sharded run."""
+
+    name: str
+    seed: int
+    generation: str
+    backend: str
+    quantize: bool
+    custom_config: bool
+    config_digest: str
+    num_packets: int
+    payload_bits_per_packet: int
+    num_shards: int
+    code_version: str
+    points: tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require_int(self.num_shards, "num_shards", minimum=1)
+        require_int(self.num_packets, "num_packets", minimum=1)
+        require_int(self.payload_bits_per_packet,
+                    "payload_bits_per_packet", minimum=1)
+        if not self.points:
+            raise ValueError("a run needs at least one grid point")
+
+    # -- identity -------------------------------------------------------
+    def grid_digest(self) -> str:
+        """Digest of the grid's identity: points, config, payload size.
+
+        Two manifests with equal grid digests cache into the same key
+        space, so the digest guards against resuming a run directory with
+        mismatched arguments.  ``num_packets`` is deliberately excluded —
+        packet count is coverage, not identity (the same store tops a
+        point up when the budget is raised), mirroring
+        :func:`repro.runs.store.measurement_key`.
+        """
+        import hashlib
+        payload = json.dumps({
+            "points": [_point_to_dict(point) for point in self.points],
+            "config": self.config_digest,
+            "payload_bits_per_packet": self.payload_bits_per_packet,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- sharding -------------------------------------------------------
+    def points_for_shard(self, shard_index: int) -> tuple[SweepPoint, ...]:
+        """Shard ``i`` of ``k`` owns manifest points ``i, i+k, i+2k, ...``.
+
+        Round-robin keeps every shard's load balanced across curves (the
+        grid orders Eb/N0 fastest, so contiguous slices would give one
+        shard all the slow low-SNR points of a curve).
+        """
+        require_int(shard_index, "shard_index", minimum=0)
+        if shard_index >= self.num_shards:
+            raise ValueError(f"shard_index {shard_index} out of range for "
+                             f"{self.num_shards} shard(s)")
+        return self.points[shard_index::self.num_shards]
+
+    def shard_file_stem(self, shard_index: int) -> str:
+        return f"shard-{shard_index:03d}-of-{self.num_shards:03d}"
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "manifest_version": _MANIFEST_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "generation": self.generation,
+            "backend": self.backend,
+            "quantize": self.quantize,
+            "custom_config": self.custom_config,
+            "config_digest": self.config_digest,
+            "grid_digest": self.grid_digest(),
+            "num_packets": self.num_packets,
+            "payload_bits_per_packet": self.payload_bits_per_packet,
+            "num_shards": self.num_shards,
+            "code_version": self.code_version,
+            "points": [_point_to_dict(point) for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        if data.get("manifest_version") != _MANIFEST_VERSION:
+            raise ValueError("unsupported manifest version "
+                             f"{data.get('manifest_version')!r}")
+        try:
+            manifest = cls(
+                name=str(data["name"]),
+                seed=int(data["seed"]),
+                generation=str(data["generation"]),
+                backend=str(data["backend"]),
+                quantize=bool(data["quantize"]),
+                custom_config=bool(data["custom_config"]),
+                config_digest=str(data["config_digest"]),
+                num_packets=int(data["num_packets"]),
+                payload_bits_per_packet=int(data["payload_bits_per_packet"]),
+                num_shards=int(data["num_shards"]),
+                code_version=str(data["code_version"]),
+                points=tuple(_point_from_dict(point)
+                             for point in data["points"]))
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed run manifest: {error}") from None
+        recorded = data.get("grid_digest")
+        if recorded is not None and recorded != manifest.grid_digest():
+            raise ValueError("run manifest grid digest mismatch (edited "
+                             "points or parameters?)")
+        return manifest
+
+    def save(self, run_dir) -> Path:
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        path = run_dir / _MANIFEST_NAME
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2,
+                                           sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, run_dir) -> "RunManifest":
+        path = Path(run_dir) / _MANIFEST_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no run manifest at {path}")
+        return cls.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+@dataclass
+class RunReport:
+    """What one shard execution did: served from cache vs simulated."""
+
+    shard_index: int
+    num_shards: int
+    points_total: int = 0
+    points_cached: int = 0
+    points_simulated: int = 0
+    packets_cached: int = 0
+    packets_simulated: int = 0
+
+    @property
+    def all_cached(self) -> bool:
+        """True when the shard performed zero simulation work."""
+        return self.points_simulated == 0 and self.packets_simulated == 0
+
+    def summary(self) -> str:
+        text = (f"shard {self.shard_index}/{self.num_shards}: "
+                f"{self.points_total} point(s) -> "
+                f"{self.points_simulated} simulated, "
+                f"{self.points_cached} cached "
+                f"({self.packets_simulated} packets simulated, "
+                f"{self.packets_cached} served from cache)")
+        if self.points_total and self.all_cached:
+            text += " [all points served from cache]"
+        return text
+
+    def merged_with(self, other: "RunReport") -> "RunReport":
+        return RunReport(
+            shard_index=self.shard_index, num_shards=self.num_shards,
+            points_total=self.points_total + other.points_total,
+            points_cached=self.points_cached + other.points_cached,
+            points_simulated=self.points_simulated + other.points_simulated,
+            packets_cached=self.packets_cached + other.packets_cached,
+            packets_simulated=(self.packets_simulated
+                               + other.packets_simulated))
+
+
+class RunDriver:
+    """Executes, resumes and merges one manifest's shards.
+
+    Build one with :meth:`create` (new run directory) or :meth:`open`
+    (existing directory, e.g. to resume after a crash or to execute a
+    different shard of the same run on another machine).
+    """
+
+    def __init__(self, run_dir, manifest: RunManifest,
+                 engine: SweepEngine) -> None:
+        self.run_dir = Path(run_dir)
+        self.manifest = manifest
+        self.engine = engine
+        if engine.config_digest() != manifest.config_digest:
+            raise ValueError(
+                "engine configuration does not match the run manifest "
+                "(different seed, generation, backend, quantize or base "
+                "config); refusing to mix results")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, run_dir, engine: SweepEngine, points,
+               num_packets: int = 32, payload_bits_per_packet: int = 64,
+               num_shards: int = 1, name: str | None = None) -> "RunDriver":
+        """Start (or idempotently re-open) a run directory for a grid.
+
+        When ``run_dir`` already holds a manifest, the requested grid must
+        digest identically — then the existing run is reused (that is what
+        makes ``sweep`` re-invocations cache hits) — otherwise a
+        ``ValueError`` explains the mismatch.  A different ``num_packets``
+        on the same grid is *escalation*, not a different run: the
+        manifest adopts the new budget and shard completion markers are
+        cleared, so re-running shards simulates only each point's missing
+        tail chunk.
+        """
+        run_dir = Path(run_dir)
+        points = tuple(points)
+        manifest = RunManifest(
+            name=name if name is not None else run_dir.name,
+            seed=engine.seed,
+            generation=engine.generation,
+            backend=engine.backend,
+            quantize=engine.quantize,
+            custom_config=engine.config is not None,
+            config_digest=engine.config_digest(),
+            num_packets=num_packets,
+            payload_bits_per_packet=payload_bits_per_packet,
+            num_shards=num_shards,
+            code_version=_code_version(),
+            points=points)
+        if (run_dir / _MANIFEST_NAME).is_file():
+            existing = RunManifest.load(run_dir)
+            if existing.grid_digest() != manifest.grid_digest():
+                raise ValueError(
+                    f"run directory {run_dir} already holds a different "
+                    "run (grid digest mismatch); pick another directory "
+                    "or delete the old run")
+            if existing.num_shards != manifest.num_shards:
+                raise ValueError(
+                    f"run {run_dir} was created with "
+                    f"{existing.num_shards} shard(s), not "
+                    f"{manifest.num_shards}; the shard plan is fixed at "
+                    "creation")
+            if existing.num_packets == manifest.num_packets:
+                manifest = existing
+            else:
+                # Escalated (or reduced) packet budget on the same grid:
+                # record the new budget and invalidate completion markers —
+                # they certified coverage of the old budget.  The store is
+                # untouched; every cached chunk still counts.
+                manifest.save(run_dir)
+                for marker in (run_dir / _SHARDS_DIR).glob("*.done"):
+                    marker.unlink()
+        else:
+            manifest.save(run_dir)
+        return cls(run_dir, manifest, engine)
+
+    @classmethod
+    def open(cls, run_dir, engine: SweepEngine | None = None) -> "RunDriver":
+        """Open an existing run, rebuilding the engine from the manifest.
+
+        Runs created from an engine with a custom base config cannot
+        rebuild it from JSON; pass the same ``engine`` explicitly (it is
+        digest-checked against the manifest).
+        """
+        manifest = RunManifest.load(run_dir)
+        if engine is None:
+            if manifest.custom_config:
+                raise ValueError(
+                    "this run was created with a custom base config; pass "
+                    "the same engine to RunDriver.open()")
+            engine = SweepEngine(generation=manifest.generation,
+                                 seed=manifest.seed,
+                                 backend=manifest.backend,
+                                 quantize=manifest.quantize)
+        return cls(run_dir, manifest, engine)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def store_dir(self) -> Path:
+        return self.run_dir / _STORE_DIR
+
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.run_dir / _ARTIFACTS_DIR
+
+    def _marker_path(self, shard_index: int) -> Path:
+        return (self.run_dir / _SHARDS_DIR
+                / (self.manifest.shard_file_stem(shard_index) + ".done"))
+
+    def store_for_shard(self, shard_index: int) -> ResultStore:
+        """The shared store, appending to this shard's own JSONL file."""
+        stem = self.manifest.shard_file_stem(shard_index)
+        return ResultStore(self.store_dir, writer_name=stem + ".jsonl")
+
+    def _key_for(self, point: SweepPoint) -> str:
+        return measurement_key(self.engine.point_digest(point),
+                               self.manifest.config_digest,
+                               self.manifest.payload_bits_per_packet)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_shard(self, shard_index: int = 0,
+                  max_workers: int | None = None,
+                  on_point=None) -> RunReport:
+        """Execute one shard: cached points are served, the rest simulated.
+
+        ``on_point`` (optional) is called as ``on_point(point,
+        measurement, source)`` per point in shard order, ``source`` being
+        ``"cached"`` or ``"simulated"``.  Safe to re-run after a crash —
+        every completed point is already in the store and skipped.
+        """
+        manifest = self.manifest
+        points = manifest.points_for_shard(shard_index)
+        store = self.store_for_shard(shard_index)
+        report = RunReport(shard_index=shard_index,
+                           num_shards=manifest.num_shards,
+                           points_total=len(points))
+        requested = manifest.num_packets
+        payload_bits = manifest.payload_bits_per_packet
+
+        resolved: dict[int, BERPoint] = {}
+        jobs: list[tuple[int, SweepPoint, str, int, int]] = []
+        for index, point in enumerate(points):
+            key = self._key_for(point)
+            cached = store.lookup(key, requested)
+            if cached is not None:
+                resolved[index] = cached
+                report.points_cached += 1
+                report.packets_cached += cached.packets_sent
+                continue
+            covered = store.coverage(key)
+            jobs.append((index, point, key, covered, requested - covered))
+
+        def simulate(job):
+            _, point, _, covered, missing = job
+            return self.engine.measure_point(
+                point, num_packets=missing,
+                payload_bits_per_packet=payload_bits,
+                packet_offset=covered)
+
+        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                chunks = list(pool.map(simulate, jobs))
+        else:
+            chunks = [simulate(job) for job in jobs]
+
+        # Store writes stay on the driver thread, in shard order, so the
+        # shard's JSONL file is deterministic for a given cache state.
+        for (index, point, key, covered, missing), chunk in zip(jobs, chunks):
+            store.add_chunk(key, covered, chunk)
+            resolved[index] = store.lookup(key, requested)
+            report.points_simulated += 1
+            report.packets_simulated += missing
+            report.packets_cached += covered
+
+        if on_point is not None:
+            simulated = {index for index, *_ in jobs}
+            for index, point in enumerate(points):
+                source = "simulated" if index in simulated else "cached"
+                on_point(point, resolved[index], source)
+
+        marker = self._marker_path(shard_index)
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(marker, json.dumps({
+            "shard_index": shard_index,
+            "num_shards": manifest.num_shards,
+            "points_total": report.points_total,
+            "points_simulated": report.points_simulated,
+            "points_cached": report.points_cached,
+        }, sort_keys=True) + "\n")
+        return report
+
+    def pending_shards(self) -> tuple[int, ...]:
+        """Shards without a completion marker (crashed, or never started)."""
+        return tuple(index for index in range(self.manifest.num_shards)
+                     if not self._marker_path(index).is_file())
+
+    def shard_status(self) -> dict[int, str]:
+        """Per-shard state: ``done``, ``partial`` (some points cached) or
+        ``pending``."""
+        status: dict[int, str] = {}
+        store = ResultStore(self.store_dir)
+        for index in range(self.manifest.num_shards):
+            if self._marker_path(index).is_file():
+                status[index] = "done"
+                continue
+            covered = sum(
+                1 for point in self.manifest.points_for_shard(index)
+                if store.lookup(self._key_for(point),
+                                self.manifest.num_packets) is not None)
+            status[index] = "partial" if covered else "pending"
+        return status
+
+    def run_pending(self, max_workers: int | None = None,
+                    on_point=None) -> RunReport:
+        """Execute every shard that has no completion marker (resume)."""
+        report = RunReport(shard_index=0,
+                           num_shards=self.manifest.num_shards)
+        for shard_index in self.pending_shards():
+            report = report.merged_with(
+                self.run_shard(shard_index, max_workers=max_workers,
+                               on_point=on_point))
+        return report
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.pending_shards()
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def merge(self, strict: bool = True) -> SweepResult:
+        """Merge every shard's stored measurements into one result.
+
+        The result is assembled in manifest point order from the content-
+        addressed store, so it is identical whatever machines, shard
+        counts, or execution orders produced the cache.  With ``strict``
+        (default) a missing point raises; ``strict=False`` returns the
+        measured subset (useful for eyeballing a run in flight).
+        """
+        store = ResultStore(self.store_dir)
+        entries = []
+        missing = []
+        for point in self.manifest.points:
+            measurement = store.lookup(self._key_for(point),
+                                       self.manifest.num_packets)
+            if measurement is None:
+                missing.append(point)
+            else:
+                entries.append((point, measurement))
+        if missing and strict:
+            raise ValueError(
+                f"{len(missing)} of {len(self.manifest.points)} point(s) "
+                f"are not fully measured yet (e.g. {missing[0]}); run the "
+                "pending shards or merge with strict=False")
+        return SweepResult(entries=entries)

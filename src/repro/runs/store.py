@@ -1,0 +1,235 @@
+"""Content-addressed result store for sweep measurements.
+
+The store maps a *measurement key* — everything that determines a grid
+point's result bit-for-bit: the point's content digest, the engine's
+config digest (seed, generation, backend, quantization, base config) and
+the payload size — to the measured :class:`repro.core.metrics.BERPoint`
+counts.  Re-running any grid against a warm store therefore performs zero
+simulation work, and partially measured points are topped up instead of
+re-simulated.
+
+Measurements are stored as *chunks*: ``(packet_offset, num_packets)``
+spans of independent packets.  A point first measured with 20 000 packets
+and later requested at 50 000 keeps its original chunk and only simulates
+the 30 000-packet tail; counts are additive, so chunks merge into one
+pooled :class:`BERPoint`.
+
+Persistence is append-only JSONL — one record per line, one file per
+writer — with each append issued as a single ``write`` on an
+``O_APPEND`` descriptor followed by fsync, so concurrent shard processes
+never interleave partial lines and a crash can at worst lose the final
+record.  Loading tolerates corrupt or truncated lines (it skips them with
+a warning and counts them in :attr:`ResultStore.corrupt_records`), so a
+damaged cache degrades to re-simulating the affected points rather than
+failing the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.metrics import BERPoint
+
+__all__ = ["ResultStore", "StoredChunk", "measurement_key"]
+
+_SCHEMA_VERSION = 1
+
+
+def measurement_key(point_digest: str, config_digest: str,
+                    payload_bits_per_packet: int) -> str:
+    """The content address of one grid point's measurement.
+
+    ``num_packets`` is deliberately absent: packet count is coverage, not
+    identity — the same key accumulates chunks as the budget escalates.
+    """
+    payload = json.dumps({
+        "point": point_digest,
+        "config": config_digest,
+        "payload_bits_per_packet": int(payload_bits_per_packet),
+        "schema": _SCHEMA_VERSION,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredChunk:
+    """One contiguous span of simulated packets for a measurement key."""
+
+    key: str
+    packet_offset: int
+    measurement: BERPoint
+
+    @property
+    def num_packets(self) -> int:
+        return self.measurement.packets_sent
+
+    def to_record(self) -> dict:
+        return {"schema": _SCHEMA_VERSION,
+                "key": self.key,
+                "packet_offset": int(self.packet_offset),
+                "measurement": self.measurement.to_dict()}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "StoredChunk":
+        if not isinstance(record, dict):
+            raise ValueError("store record is not an object")
+        if record.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported store schema {record.get('schema')!r}")
+        key = record.get("key")
+        if not isinstance(key, str) or len(key) != 64:
+            raise ValueError("store record has a malformed key")
+        offset = record.get("packet_offset")
+        if not isinstance(offset, int) or offset < 0:
+            raise ValueError("store record has a malformed packet_offset")
+        measurement = BERPoint.from_dict(record.get("measurement", {}))
+        if measurement.packets_sent == 0:
+            raise ValueError("store record covers zero packets")
+        return cls(key=key, packet_offset=offset, measurement=measurement)
+
+
+class ResultStore:
+    """JSONL-backed, content-addressed cache of sweep measurements.
+
+    Parameters
+    ----------
+    directory:
+        The cache directory.  *Every* ``*.jsonl`` file in it is loaded, so
+        shards that each append to their own file (``writer_name``) merge
+        by simply sharing — or syncing into — one directory.
+    writer_name:
+        File new chunks are appended to (default ``store.jsonl``).  Shard
+        drivers pass a per-shard name so concurrent machines never write
+        the same file.
+    """
+
+    def __init__(self, directory, writer_name: str = "store.jsonl") -> None:
+        if not writer_name.endswith(".jsonl"):
+            raise ValueError("writer_name must end in '.jsonl'")
+        self.directory = Path(directory)
+        self.writer_name = writer_name
+        self.corrupt_records = 0
+        self._chunks: dict[str, list[StoredChunk]] = {}
+        self.reload()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def reload(self) -> None:
+        """Re-read every JSONL file in the store directory from scratch."""
+        self._chunks = {}
+        self.corrupt_records = 0
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.jsonl")):
+            self._load_file(path)
+
+    def _load_file(self, path: Path) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    chunk = StoredChunk.from_record(json.loads(line))
+                except (json.JSONDecodeError, ValueError) as error:
+                    self.corrupt_records += 1
+                    warnings.warn(
+                        f"skipping corrupt result-store record "
+                        f"({path.name}:{line_number}): {error}",
+                        stacklevel=2)
+                    continue
+                self._index(chunk)
+
+    def _index(self, chunk: StoredChunk) -> None:
+        chunks = self._chunks.setdefault(chunk.key, [])
+        # Replays (the same chunk appended by a re-run shard, or the same
+        # file loaded via reload) are idempotent.
+        for existing in chunks:
+            if existing.packet_offset == chunk.packet_offset:
+                return
+        chunks.append(chunk)
+        chunks.sort(key=lambda c: c.packet_offset)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._chunks
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self._chunks))
+
+    def coverage(self, key: str) -> int:
+        """Packets contiguously covered from offset 0 for ``key``."""
+        covered = 0
+        for chunk in self._chunks.get(key, ()):
+            if chunk.packet_offset != covered:
+                break  # a gap: later chunks are unreachable until filled
+            covered += chunk.num_packets
+        return covered
+
+    def lookup(self, key: str, num_packets: int) -> BERPoint | None:
+        """The pooled measurement for ``key`` when coverage suffices.
+
+        Returns ``None`` (a miss) while fewer than ``num_packets`` packets
+        are contiguously cached.  On a hit the *entire* contiguous prefix
+        is pooled — a store holding 50 000 packets serves a 20 000-packet
+        request with all 50 000 (more packets, tighter estimate); exact
+        re-runs get bit-identical results because coverage then equals the
+        request.
+        """
+        merged: BERPoint | None = None
+        covered = 0
+        for chunk in self._chunks.get(key, ()):
+            if chunk.packet_offset != covered:
+                break
+            covered += chunk.num_packets
+            merged = (chunk.measurement if merged is None
+                      else merged.merge(chunk.measurement))
+        if covered < num_packets:
+            return None
+        return merged
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add_chunk(self, key: str, packet_offset: int,
+                  measurement: BERPoint) -> StoredChunk:
+        """Persist one simulated chunk and index it.
+
+        The record is serialized to a single line and appended with one
+        ``os.write`` on an ``O_APPEND`` descriptor + fsync: atomic with
+        respect to concurrent appenders on the same file and durable up to
+        the last completed record on crash.
+        """
+        chunk = StoredChunk(key=key, packet_offset=int(packet_offset),
+                            measurement=measurement)
+        existing = self._chunks.get(key, ())
+        for other in existing:
+            if other.packet_offset == chunk.packet_offset:
+                if other.measurement != measurement:
+                    raise ValueError(
+                        f"store already holds a different measurement for "
+                        f"key {key[:12]}... at offset {packet_offset}")
+                return other
+        line = json.dumps(chunk.to_record(), sort_keys=True) + "\n"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / self.writer_name
+        descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                             0o644)
+        try:
+            os.write(descriptor, line.encode("utf-8"))
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+        self._index(chunk)
+        return chunk

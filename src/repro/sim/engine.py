@@ -22,6 +22,9 @@ module-level factory functions rather than lambdas.
 from __future__ import annotations
 
 import hashlib
+import json
+import warnings
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
@@ -57,7 +60,27 @@ def sweep_grid(ebn0_values_db, scenarios=("awgn",), modulations=("bpsk",),
 
     Eb/N0 varies fastest, so consecutive points of the same curve stay
     adjacent (helpful when eyeballing partial results).
+
+    Every axis must be non-empty and the Eb/N0 values finite; an empty axis
+    or a NaN/inf operating point would otherwise surface far downstream as
+    an empty grid or a NaN curve.
     """
+    ebn0_values_db = tuple(ebn0_values_db)
+    scenarios = tuple(scenarios)
+    modulations = tuple(modulations)
+    adc_bits = tuple(adc_bits)
+    for name, axis in (("ebn0_values_db", ebn0_values_db),
+                       ("scenarios", scenarios),
+                       ("modulations", modulations),
+                       ("adc_bits", adc_bits)):
+        if len(axis) == 0:
+            raise ValueError(f"sweep axis {name!r} is empty; every axis "
+                             "needs at least one value")
+    ebn0_array = np.asarray(ebn0_values_db, dtype=float)
+    if not np.all(np.isfinite(ebn0_array)):
+        bad = ebn0_array[~np.isfinite(ebn0_array)]
+        raise ValueError("ebn0_values_db must be finite; got "
+                         f"{bad.tolist()}")
     return tuple(
         SweepPoint(ebn0_db=float(ebn0), scenario=scenario,
                    modulation=modulation, adc_bits=bits)
@@ -127,17 +150,29 @@ class _PointTask:
     spawn_key: tuple
 
 
-def _point_spawn_key(point: SweepPoint) -> tuple[int, ...]:
+def _point_digest_text(point: SweepPoint) -> str:
+    """Canonical text identifying a point's content (not its grid position)."""
+    return repr((float(point.ebn0_db), point.scenario, point.modulation,
+                 point.adc_bits))
+
+
+def _point_spawn_key(point: SweepPoint,
+                     packet_offset: int = 0) -> tuple[int, ...]:
     """A stable ``SeedSequence`` spawn key derived from the point's content.
 
     Keying streams on content rather than grid position keeps results
-    identical when the grid is reordered, chunked, or sharded.
+    identical when the grid is reordered, chunked, or sharded.  A non-zero
+    ``packet_offset`` extends the key, giving escalation chunks (packets
+    simulated *on top of* an earlier measurement of the same point) an
+    independent stream; offset 0 is bit-exact with the historical scheme.
     """
-    text = repr((float(point.ebn0_db), point.scenario, point.modulation,
-                 point.adc_bits))
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return tuple(int.from_bytes(digest[i:i + 4], "little")
-                 for i in range(0, 16, 4))
+    digest = hashlib.sha256(
+        _point_digest_text(point).encode("utf-8")).digest()
+    key = tuple(int.from_bytes(digest[i:i + 4], "little")
+                for i in range(0, 16, 4))
+    if packet_offset:
+        key += (int(packet_offset),)
+    return key
 
 
 def _resolve_config(task: _PointTask):
@@ -252,36 +287,120 @@ class SweepEngine:
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------
+    # Identity hooks (used by the repro.runs result store)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point_digest(point: SweepPoint) -> str:
+        """A stable hex digest of a grid point's content.
+
+        Two points with equal content digest identically no matter where
+        they sit in a grid, so the digest is a safe cache-key component for
+        the :mod:`repro.runs` result store.
+        """
+        return hashlib.sha256(
+            _point_digest_text(point).encode("utf-8")).hexdigest()
+
+    def config_digest(self) -> str:
+        """A stable hex digest of everything engine-level that shapes results.
+
+        Covers the seed, generation, backend, quantization choice and the
+        full base configuration (field by field, ``None`` meaning the
+        generation's ``fast_test_config``).  Two engines with equal digests
+        produce bit-identical measurements for the same point and packet
+        budget, so the digest scopes cache entries in :mod:`repro.runs`.
+        """
+        if self.config is None:
+            config_description = ["default", self.generation]
+        else:
+            config_description = [type(self.config).__name__,
+                                  repr(self.config)]
+        payload = json.dumps({
+            "seed": self.seed,
+            "generation": self.generation,
+            "backend": self.backend,
+            "quantize": self.quantize,
+            "config": config_description,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
     # Grid execution
     # ------------------------------------------------------------------
+    def _task_for(self, point: SweepPoint, num_packets: int,
+                  payload_bits_per_packet: int,
+                  packet_offset: int = 0) -> _PointTask:
+        scenario = self.registry.get(point.scenario)
+        return _PointTask(
+            point=point,
+            scenario=scenario,
+            config=self.config,
+            generation=scenario.generation or self.generation,
+            backend=self.backend,
+            quantize=self.quantize,
+            num_packets=num_packets,
+            payload_bits_per_packet=payload_bits_per_packet,
+            seed_entropy=self.seed,
+            spawn_key=_point_spawn_key(point, packet_offset))
+
+    def measure_point(self, point: SweepPoint, num_packets: int = 32,
+                      payload_bits_per_packet: int = 64,
+                      packet_offset: int = 0) -> BERPoint:
+        """Measure a single grid point (the unit of work ``repro.runs`` caches).
+
+        ``packet_offset`` names the chunk: offset 0 is bit-exact with
+        :meth:`run` on a one-point grid, while a positive offset draws an
+        independent stream so escalating a cached measurement from ``n`` to
+        ``n + m`` packets simulates only the ``m``-packet tail chunk.
+        """
+        require_int(num_packets, "num_packets", minimum=1)
+        require_int(payload_bits_per_packet, "payload_bits_per_packet",
+                    minimum=1)
+        require_int(packet_offset, "packet_offset", minimum=0)
+        return _run_point(self._task_for(point, num_packets,
+                                         payload_bits_per_packet,
+                                         packet_offset))
+
     def run(self, points, num_packets: int = 32,
-            payload_bits_per_packet: int = 64) -> SweepResult:
-        """Measure every grid point and return the collected results."""
+            payload_bits_per_packet: int = 64,
+            on_result=None) -> SweepResult:
+        """Measure every grid point and return the collected results.
+
+        ``on_result`` (optional) is called as ``on_result(point,
+        measurement)`` for every grid point, in grid order, as results
+        become available — the hook result stores use to persist points
+        incrementally instead of waiting for the whole grid.
+        """
         points = tuple(points)
         require_int(num_packets, "num_packets", minimum=1)
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
-        tasks = []
-        for point in points:
-            scenario = self.registry.get(point.scenario)
-            tasks.append(_PointTask(
-                point=point,
-                scenario=scenario,
-                config=self.config,
-                generation=scenario.generation or self.generation,
-                backend=self.backend,
-                quantize=self.quantize,
-                num_packets=num_packets,
-                payload_bits_per_packet=payload_bits_per_packet,
-                seed_entropy=self.seed,
-                spawn_key=_point_spawn_key(point)))
+        duplicates = [point for point, count in Counter(points).items()
+                      if count > 1]
+        if duplicates:
+            warnings.warn(
+                f"sweep grid contains {len(duplicates)} duplicated point(s) "
+                f"(e.g. {duplicates[0]}); duplicates share one seed stream "
+                "and return identical measurements — use different seeds "
+                "(or engines) to replicate a point",
+                stacklevel=2)
+        tasks = [self._task_for(point, num_packets, payload_bits_per_packet)
+                 for point in points]
+        entries: list[tuple[SweepPoint, BERPoint]] = []
         if self.max_workers is not None and self.max_workers > 1 \
                 and len(tasks) > 1:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                measurements = list(pool.map(_run_point, tasks))
+                for point, measurement in zip(points,
+                                              pool.map(_run_point, tasks)):
+                    if on_result is not None:
+                        on_result(point, measurement)
+                    entries.append((point, measurement))
         else:
-            measurements = [_run_point(task) for task in tasks]
-        return SweepResult(entries=list(zip(points, measurements)))
+            for point, task in zip(points, tasks):
+                measurement = _run_point(task)
+                if on_result is not None:
+                    on_result(point, measurement)
+                entries.append((point, measurement))
+        return SweepResult(entries=entries)
 
     def ber_curve(self, ebn0_values_db, scenario: str = "awgn",
                   modulation: str = "bpsk", adc_bits: int | None = None,

@@ -1,6 +1,7 @@
-"""Shared utilities: dB conversions, DSP helpers, bit handling, fixed point."""
+"""Shared utilities: dB conversions, DSP helpers, bit handling, fixed point,
+filesystem helpers."""
 
-from repro.utils import bits, db, dsp, fixed_point, validation
+from repro.utils import bits, db, dsp, fixed_point, io, validation
 from repro.utils.db import (
     amplitude_to_db,
     db_to_amplitude,
@@ -25,6 +26,7 @@ __all__ = [
     "db",
     "dsp",
     "fixed_point",
+    "io",
     "validation",
     "amplitude_to_db",
     "db_to_amplitude",

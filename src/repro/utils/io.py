@@ -1,0 +1,25 @@
+"""Filesystem helpers shared by the run/artifact persistence layers."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (all-or-nothing).
+
+    The content goes to a sibling temporary file, is fsynced, and then
+    renamed over the target, so readers never observe a half-written
+    file and a crash leaves either the old content or the new — never a
+    torn mix.
+    """
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)

@@ -1,0 +1,63 @@
+"""Tests for curve-set artifact export/load."""
+
+import csv
+
+import pytest
+
+from repro.runs import RunDriver, export_curves, load_artifact
+from repro.sim import SweepEngine, sweep_grid
+
+
+@pytest.fixture
+def result(tmp_path):
+    engine = SweepEngine(seed=3)
+    grid = sweep_grid([4.0, 8.0], scenarios=("awgn",), adc_bits=(None, 2))
+    driver = RunDriver.create(tmp_path / "run", engine, grid, num_packets=5,
+                              payload_bits_per_packet=32)
+    driver.run_shard(0)
+    return driver.merge()
+
+
+class TestExport:
+    def test_writes_csv_and_json(self, tmp_path, result):
+        artifact = export_curves(result, tmp_path / "artifacts", "curves",
+                                 metadata={"seed": 3})
+        assert artifact.csv_path.is_file()
+        assert artifact.json_path.is_file()
+        with open(artifact.csv_path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4           # 2 curves x 2 Eb/N0 points
+        assert {row["curve"] for row in rows} == {"awgn/bpsk",
+                                                  "awgn/bpsk/adc2"}
+        first = rows[0]
+        assert float(first["ber"]) == \
+            int(first["bit_errors"]) / int(first["total_bits"])
+
+    def test_roundtrip_preserves_curves(self, tmp_path, result):
+        artifact = export_curves(result, tmp_path, "curves",
+                                 metadata={"run": "demo"})
+        loaded = load_artifact(artifact.json_path)
+        assert loaded.metadata == {"run": "demo"}
+        assert set(loaded.curves) == set(result.curves())
+        for label, curve in result.curves().items():
+            assert loaded.curve(label).points == curve.points
+
+    def test_unknown_curve_label_lists_known(self, tmp_path, result):
+        artifact = export_curves(result, tmp_path, "curves")
+        with pytest.raises(KeyError, match="awgn/bpsk"):
+            artifact.curve("nope")
+
+    def test_rejects_path_like_names(self, tmp_path, result):
+        with pytest.raises(ValueError, match="plain filename"):
+            export_curves(result, tmp_path, "../escape")
+        with pytest.raises(ValueError, match="plain filename"):
+            export_curves(result, tmp_path, "")
+
+    def test_load_rejects_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"artifact_version": 1, "name": "x"}')
+        with pytest.raises(ValueError, match="malformed artifact"):
+            load_artifact(path)
+        path.write_text('{"artifact_version": 7}')
+        with pytest.raises(ValueError, match="unsupported artifact"):
+            load_artifact(path)

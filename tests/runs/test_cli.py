@@ -1,0 +1,155 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import io
+
+import pytest
+
+from repro.runs import load_artifact
+from repro.runs.cli import (
+    main,
+    parse_adc_bits_axis,
+    parse_ebn0_axis,
+    parse_shard_spec,
+)
+from repro.sim import SweepEngine, sweep_grid
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+SWEEP_ARGS = ("sweep", "--ebn0", "4:8:2", "--packets", "4",
+              "--payload-bits", "32")
+
+
+class TestParsers:
+    def test_ebn0_range_is_inclusive(self):
+        assert parse_ebn0_axis("0:12:1") == tuple(float(v)
+                                                  for v in range(13))
+        assert parse_ebn0_axis("4:8:2") == (4.0, 6.0, 8.0)
+        assert parse_ebn0_axis("0:10") == tuple(float(v) for v in range(11))
+        assert parse_ebn0_axis("1.5,3") == (1.5, 3.0)
+
+    def test_ebn0_rejects_bad_specs(self):
+        import argparse
+        for bad in ("5:1:1", "0:10:0", "0:10:-1", "a:b:c", "nan", "1:2:3:4"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_ebn0_axis(bad)
+
+    def test_adc_bits_axis(self):
+        assert parse_adc_bits_axis("none") == (None,)
+        assert parse_adc_bits_axis("1,4,none") == (1, 4, None)
+
+    def test_shard_spec(self):
+        import argparse
+        assert parse_shard_spec("0/4") == (0, 4)
+        assert parse_shard_spec("3/4") == (3, 4)
+        for bad in ("4/4", "-1/4", "0/0", "1", "a/b"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_shard_spec(bad)
+
+
+class TestSweepCommand:
+    def test_sweep_then_cached_rerun(self, tmp_path):
+        code, first = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                              "--name", "demo")
+        assert code == 0
+        assert "3 simulated, 0 cached" in first
+        assert "run complete" in first
+
+        code, second = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                               "--name", "demo")
+        assert code == 0
+        assert "0 simulated, 3 cached" in second
+        assert "all points served from cache" in second
+
+    def test_auto_name_is_digest_stable(self, tmp_path):
+        code, first = run_cli(*SWEEP_ARGS, "--out", str(tmp_path))
+        code, second = run_cli(*SWEEP_ARGS, "--out", str(tmp_path))
+        assert "0 simulated, 3 cached" in second
+        runs = [path.name for path in tmp_path.iterdir()]
+        assert len(runs) == 1 and runs[0].startswith("sweep-")
+
+    def test_packet_escalation_tops_up_cache(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        # Same grid, higher --packets: only the missing tails simulate.
+        code, out = run_cli("sweep", "--ebn0", "4:8:2", "--packets", "10",
+                            "--payload-bits", "32", "--out", str(tmp_path),
+                            "--name", "demo")
+        assert code == 0
+        assert "10 packets/point" in out
+        assert "3 simulated, 0 cached" in out
+        assert "18 packets simulated, 12 served from cache" in out
+        code, out = run_cli("merge", "--run", str(tmp_path / "demo"))
+        assert "merged 3 of 3 point(s)" in out
+
+    def test_conflicting_reuse_fails_cleanly(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, _ = run_cli("sweep", "--ebn0", "0:2:2", "--packets", "4",
+                          "--out", str(tmp_path), "--name", "demo")
+        assert code == 2
+        assert "different run" in capsys.readouterr().err
+
+
+class TestShardedFlow:
+    def test_shard_resume_merge_show(self, tmp_path):
+        base = SWEEP_ARGS + ("--out", str(tmp_path), "--name", "sharded",
+                             "--seed", "7")
+        code, out = run_cli(*base, "--shard", "1/3")
+        assert code == 0
+        assert "shard 1/3" in out
+        assert "pending shard(s): 0, 2" in out
+
+        code, out = run_cli("resume", "--run", str(tmp_path / "sharded"))
+        assert code == 0
+        assert "shard 0/3" in out and "shard 2/3" in out
+        assert "run complete: all 3 shard(s) done" in out
+
+        code, out = run_cli("merge", "--run", str(tmp_path / "sharded"))
+        assert code == 0
+        assert "merged 3 of 3 point(s)" in out
+        artifact = load_artifact(
+            tmp_path / "sharded" / "artifacts" / "sharded.json")
+        assert artifact.metadata["seed"] == 7
+        assert artifact.metadata["num_shards"] == 3
+
+        # The CLI-merged artifact is bit-identical to an in-process
+        # unsharded engine run of the same grid.
+        engine = SweepEngine(generation="gen2", seed=7)
+        direct = engine.run(sweep_grid((4.0, 6.0, 8.0)), num_packets=4,
+                            payload_bits_per_packet=32)
+        assert artifact.curves["awgn/bpsk"].points == \
+            direct.curve().points
+
+        code, out = run_cli("show", "--run", str(tmp_path / "sharded"))
+        assert code == 0
+        assert "coverage  : 3/3 point(s) measured" in out
+        assert out.count(": done") == 3
+
+    def test_resume_when_complete_is_noop(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, out = run_cli("resume", "--run", str(tmp_path / "demo"))
+        assert code == 0
+        assert "nothing to resume" in out
+
+
+class TestMergeCommand:
+    def test_partial_merge_needs_flag(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "partial",
+                "--shard", "0/2")
+        code, _ = run_cli("merge", "--run", str(tmp_path / "partial"))
+        assert code == 2
+        assert "not fully measured" in capsys.readouterr().err
+        code, out = run_cli("merge", "--run", str(tmp_path / "partial"),
+                            "--allow-partial")
+        assert code == 0
+        assert "merged 2 of 3 point(s)" in out
+
+
+class TestErrors:
+    def test_missing_run_directory(self, tmp_path, capsys):
+        code, _ = run_cli("show", "--run", str(tmp_path / "nope"))
+        assert code == 2
+        assert "no run manifest" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.core.metrics import BERPoint
+from repro.runs import ResultStore, StoredChunk, measurement_key
+
+
+def make_point(ebn0_db=4.0, bit_errors=3, total_bits=640, packets_sent=10,
+               packets_failed=1) -> BERPoint:
+    return BERPoint(ebn0_db=ebn0_db, bit_errors=bit_errors,
+                    total_bits=total_bits, packets_sent=packets_sent,
+                    packets_failed=packets_failed)
+
+
+KEY_A = measurement_key("a" * 64, "c" * 64, 64)
+KEY_B = measurement_key("b" * 64, "c" * 64, 64)
+
+
+class TestMeasurementKey:
+    def test_key_is_content_addressed(self):
+        assert KEY_A == measurement_key("a" * 64, "c" * 64, 64)
+        assert KEY_A != KEY_B
+        assert KEY_A != measurement_key("a" * 64, "d" * 64, 64)
+        assert KEY_A != measurement_key("a" * 64, "c" * 64, 128)
+
+
+class TestRoundTrip:
+    def test_add_then_lookup(self, tmp_path):
+        store = ResultStore(tmp_path)
+        measurement = make_point()
+        store.add_chunk(KEY_A, 0, measurement)
+        assert store.lookup(KEY_A, 10) == measurement
+        assert store.lookup(KEY_B, 10) is None
+        assert KEY_A in store and KEY_B not in store
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(tmp_path).add_chunk(KEY_A, 0, make_point())
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.lookup(KEY_A, 10) == make_point()
+        assert reloaded.corrupt_records == 0
+
+    def test_lookup_misses_when_coverage_short(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point(packets_sent=10))
+        assert store.lookup(KEY_A, 11) is None
+        assert store.coverage(KEY_A) == 10
+
+    def test_escalation_chunks_pool(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point(bit_errors=3, total_bits=640,
+                                             packets_sent=10,
+                                             packets_failed=1))
+        store.add_chunk(KEY_A, 10, make_point(bit_errors=5, total_bits=1280,
+                                              packets_sent=20,
+                                              packets_failed=2))
+        pooled = store.lookup(KEY_A, 30)
+        assert pooled == make_point(bit_errors=8, total_bits=1920,
+                                    packets_sent=30, packets_failed=3)
+        # A smaller request is served by the same pooled prefix.
+        assert store.lookup(KEY_A, 10) == pooled
+
+    def test_gap_blocks_contiguity(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point(packets_sent=10))
+        store.add_chunk(KEY_A, 20, make_point(packets_sent=10))
+        assert store.coverage(KEY_A) == 10
+        assert store.lookup(KEY_A, 20) is None
+
+    def test_duplicate_chunk_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point())
+        store.add_chunk(KEY_A, 0, make_point())
+        store.reload()
+        assert store.lookup(KEY_A, 10) == make_point()
+
+    def test_conflicting_chunk_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point(bit_errors=3))
+        with pytest.raises(ValueError, match="different measurement"):
+            store.add_chunk(KEY_A, 0, make_point(bit_errors=4))
+
+
+class TestMultiWriter:
+    def test_all_jsonl_files_load(self, tmp_path):
+        """Shards appending to distinct files share one directory."""
+        shard0 = ResultStore(tmp_path, writer_name="shard-0.jsonl")
+        shard1 = ResultStore(tmp_path, writer_name="shard-1.jsonl")
+        shard0.add_chunk(KEY_A, 0, make_point())
+        shard1.add_chunk(KEY_B, 0, make_point(ebn0_db=8.0))
+        merged = ResultStore(tmp_path)
+        assert merged.lookup(KEY_A, 10) is not None
+        assert merged.lookup(KEY_B, 10) is not None
+        assert set(merged.keys()) == {KEY_A, KEY_B}
+
+    def test_writer_name_must_be_jsonl(self, tmp_path):
+        with pytest.raises(ValueError, match="jsonl"):
+            ResultStore(tmp_path, writer_name="store.db")
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.add_chunk(KEY_A, 0, make_point())
+        path = tmp_path / "store.jsonl"
+        good_line = path.read_text()
+        with open(path, "a") as handle:
+            handle.write("{not json at all\n")            # garbage
+            handle.write(good_line.strip()[:-8] + "\n")   # truncated record
+            handle.write('{"schema": 99, "key": "x"}\n')  # wrong schema
+        with open(path, "a") as handle:                   # one more good one
+            handle.write(json.dumps(StoredChunk(
+                key=KEY_B, packet_offset=0,
+                measurement=make_point(ebn0_db=8.0)).to_record()) + "\n")
+        with pytest.warns(UserWarning, match="corrupt result-store record"):
+            reloaded = ResultStore(tmp_path)
+        assert reloaded.corrupt_records == 3
+        assert reloaded.lookup(KEY_A, 10) == make_point()
+        assert reloaded.lookup(KEY_B, 10) == make_point(ebn0_db=8.0)
+
+    def test_impossible_counts_rejected(self, tmp_path):
+        record = StoredChunk(key=KEY_A, packet_offset=0,
+                             measurement=make_point()).to_record()
+        record["measurement"]["bit_errors"] = 10 ** 9   # > total_bits
+        (tmp_path / "store.jsonl").write_text(json.dumps(record) + "\n")
+        with pytest.warns(UserWarning, match="more bit errors"):
+            store = ResultStore(tmp_path)
+        assert store.corrupt_records == 1
+        assert store.lookup(KEY_A, 1) is None
+
+    def test_empty_directory_is_fine(self, tmp_path):
+        store = ResultStore(tmp_path / "does-not-exist-yet")
+        assert len(store) == 0
+        store.add_chunk(KEY_A, 0, make_point())
+        assert (tmp_path / "does-not-exist-yet" / "store.jsonl").is_file()

@@ -17,6 +17,24 @@ from repro.sim import (
 
 
 class TestSweepGrid:
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError, match="'ebn0_values_db' is empty"):
+            sweep_grid([])
+        with pytest.raises(ValueError, match="'scenarios' is empty"):
+            sweep_grid([4.0], scenarios=())
+        with pytest.raises(ValueError, match="'modulations' is empty"):
+            sweep_grid([4.0], modulations=())
+        with pytest.raises(ValueError, match="'adc_bits' is empty"):
+            sweep_grid([4.0], adc_bits=())
+
+    def test_rejects_non_finite_ebn0(self):
+        with pytest.raises(ValueError, match="must be finite"):
+            sweep_grid([0.0, float("nan")])
+        with pytest.raises(ValueError, match="must be finite"):
+            sweep_grid([float("inf")])
+        with pytest.raises(ValueError, match="must be finite"):
+            sweep_grid(np.array([2.0, -np.inf]))
+
     def test_cartesian_product_size_and_order(self):
         grid = sweep_grid([0.0, 4.0], scenarios=("awgn", "two_ray"),
                           modulations=("bpsk", "ook"), adc_bits=(1, 5))
@@ -213,3 +231,77 @@ class TestBatchedKernel:
             SweepEngine(generation="gen3")
         with pytest.raises(ValueError, match="backend"):
             SweepEngine(backend="gpu")
+
+
+class TestRunStoreHooks:
+    """The identity/callback hooks the repro.runs subsystem builds on."""
+
+    def test_duplicate_points_warn(self, engine_factory):
+        point = SweepPoint(ebn0_db=6.0)
+        with pytest.warns(UserWarning, match="duplicated point"):
+            result = engine_factory(seed=2).run([point, point],
+                                                num_packets=2)
+        # Duplicates share one stream: identical measurements, as warned.
+        assert result.entries[0][1] == result.entries[1][1]
+
+    def test_distinct_points_do_not_warn(self, engine_factory,
+                                         small_sweep_grid):
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            engine_factory(seed=2).run(small_sweep_grid, num_packets=1)
+
+    def test_on_result_callback_sees_every_point_in_order(
+            self, engine_factory, small_sweep_grid):
+        seen = []
+        result = engine_factory(seed=3).run(
+            small_sweep_grid, num_packets=4,
+            on_result=lambda point, measurement: seen.append(
+                (point, measurement)))
+        assert seen == result.entries
+
+    def test_measure_point_matches_run(self, engine_factory,
+                                       small_sweep_grid):
+        engine = engine_factory(seed=7)
+        result = engine.run(small_sweep_grid, num_packets=6,
+                            payload_bits_per_packet=32)
+        for point, measurement in result.entries:
+            assert engine.measure_point(
+                point, num_packets=6,
+                payload_bits_per_packet=32) == measurement
+
+    def test_packet_offset_chunks_are_independent(self, engine_factory):
+        engine = engine_factory(seed=7)
+        point = SweepPoint(ebn0_db=2.0)
+        base = engine.measure_point(point, num_packets=8,
+                                    payload_bits_per_packet=64)
+        tail = engine.measure_point(point, num_packets=8,
+                                    payload_bits_per_packet=64,
+                                    packet_offset=8)
+        # Deterministic per offset, but a different stream from offset 0.
+        assert tail == engine.measure_point(point, num_packets=8,
+                                            payload_bits_per_packet=64,
+                                            packet_offset=8)
+        assert tail.bit_errors != base.bit_errors
+        with pytest.raises(ValueError, match="packet_offset"):
+            engine.measure_point(point, num_packets=1, packet_offset=-1)
+
+    def test_point_digest_tracks_content_not_position(self):
+        point = SweepPoint(ebn0_db=4.0, scenario="cm1", adc_bits=3)
+        same = SweepPoint(ebn0_db=4.0, scenario="cm1", adc_bits=3)
+        assert SweepEngine.point_digest(point) == \
+            SweepEngine.point_digest(same)
+        assert SweepEngine.point_digest(point) != SweepEngine.point_digest(
+            SweepPoint(ebn0_db=4.0, scenario="cm1", adc_bits=4))
+
+    def test_config_digest_covers_engine_identity(self):
+        from repro.core.config import Gen2Config
+        reference = SweepEngine(seed=1).config_digest()
+        assert reference == SweepEngine(seed=1).config_digest()
+        assert reference != SweepEngine(seed=2).config_digest()
+        assert reference != SweepEngine(seed=1,
+                                        generation="gen1").config_digest()
+        assert reference != SweepEngine(seed=1,
+                                        quantize=False).config_digest()
+        assert reference != SweepEngine(
+            seed=1, config=Gen2Config.fast_test_config()).config_digest()
