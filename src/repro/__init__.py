@@ -19,8 +19,10 @@ The package is organized by subsystem:
 * :mod:`repro.power` — per-block power models and system budgets.
 * :mod:`repro.core` — the two transceiver generations, link simulation and
   the power/QoS/data-rate adaptation controller.
-* :mod:`repro.sim` — the batched Monte-Carlo sweep engine and the scenario
-  registry (the fast path for BER grids across many environments).
+* :mod:`repro.sim` — the batched Monte-Carlo sweep engine, the scenario
+  registry, pluggable array backends (NumPy / CuPy / JAX) and the
+  shared-memory process fan-out (the fast path for BER grids across many
+  environments).
 * :mod:`repro.runs` — persistent sweep runs: the content-addressed result
   store, the sharded/resumable run driver, curve artifacts and the
   ``python -m repro`` CLI.
@@ -38,7 +40,7 @@ Quick start::
 
 # Defined before the subpackage imports so modules imported below (e.g.
 # repro.runs.driver) can read the version during package initialization.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import (
     adc,

@@ -13,8 +13,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from scipy import signal as sp_signal
-
 from repro.utils import dsp
 from repro.utils.validation import require_positive
 
@@ -142,7 +140,7 @@ class MultipathChannel:
                                 keep_length=keep_length)[0]
 
     def apply_batch(self, signals, sample_rate_hz: float,
-                    keep_length: bool = True) -> np.ndarray:
+                    keep_length: bool = True, backend=None):
         """Convolve a batch of waveforms with the channel in one FFT pass.
 
         ``signals`` has shape ``(..., num_samples)``; the channel is applied
@@ -150,17 +148,28 @@ class MultipathChannel:
         sweep engine pushes whole Monte-Carlo batches through the channel
         without a Python loop.  With ``keep_length`` the output keeps the
         input sample count, otherwise the convolution tail is returned too.
+
+        ``backend`` selects the array backend the convolution runs on
+        (see :mod:`repro.sim.backends`); ``signals`` may already live on
+        that backend's device and the result stays there.  ``None``
+        means :func:`repro.sim.backends.reference_backend` (NumPy —
+        never the environment variable).  The ray-level impulse response
+        is always assembled on the host — it is O(taps), not O(samples).
         """
-        signals = np.asarray(signals)
+        from repro.sim.backends import get_backend, reference_backend
+        backend = (reference_backend() if backend is None
+                   else get_backend(backend))
+        xp = backend.xp
+        signals = backend.asarray(signals)
         if signals.ndim < 2:
             raise ValueError("apply_batch expects a (..., num_samples) batch; "
                              "use apply() for a single waveform")
         h = self.discrete_impulse_response(sample_rate_hz)
-        if np.iscomplexobj(signals) or np.iscomplexobj(h):
+        if xp.iscomplexobj(signals) or np.iscomplexobj(h):
             signals = signals.astype(complex)
             h = h.astype(complex)
-        h = h.reshape((1,) * (signals.ndim - 1) + h.shape)
-        out = sp_signal.fftconvolve(signals, h, mode="full", axes=-1)
+        h = backend.asarray(h).reshape((1,) * (signals.ndim - 1) + h.shape)
+        out = backend.fftconvolve_full(signals, h)
         if keep_length:
             return out[..., : signals.shape[-1]]
         return out

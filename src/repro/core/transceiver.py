@@ -130,18 +130,22 @@ class _Transceiver:
         return self.config.data_rate_bps
 
     def batch_model(self, modulation: str = "bpsk", quantize: bool = True,
-                    notch_frequency_hz: float | None = None):
+                    notch_frequency_hz: float | None = None,
+                    array_backend=None):
         """Vectorized fast path for this configuration.
 
         Returns a :class:`repro.sim.batch.BatchedLinkModel` sharing this
         transceiver's configuration — the batch-capable kernel the sweep
         engine uses, with ``simulate_packet`` remaining the per-packet
-        reference implementation.
+        reference implementation.  ``array_backend`` selects the array
+        backend the kernel runs on (``None``, a name like ``"cupy"``, or
+        an :class:`repro.sim.backends.ArrayBackend`).
         """
         from repro.sim.batch import BatchedLinkModel
         return BatchedLinkModel(self.config, modulation=modulation,
                                 quantize=quantize,
-                                notch_frequency_hz=notch_frequency_hz)
+                                notch_frequency_hz=notch_frequency_hz,
+                                backend=array_backend)
 
 
 class Gen1Transceiver(_Transceiver):

@@ -39,6 +39,7 @@ class Artifact:
     metadata: dict
 
     def curve(self, label: str) -> BERCurve:
+        """The stored curve named ``label`` (``KeyError`` lists known ones)."""
         try:
             return self.curves[label]
         except KeyError:

@@ -25,8 +25,12 @@ Subcommands:
     Print a run's manifest summary, per-shard status and cache coverage.
 
 Grid axes accept comma-separated lists (``--scenario awgn,cm1``); the
-Eb/N0 axis also accepts ``start:stop:step`` with an *inclusive* stop
-(``--ebn0 0:12:1`` is the thirteen integer points 0..12 dB).
+Eb/N0 axis also accepts ``start:stop[:step]`` with an *inclusive* stop
+and a default step of 1 (``--ebn0 0:12:1`` is the thirteen integer
+points 0..12 dB).  ``--array-backend`` (or ``REPRO_ARRAY_BACKEND``)
+selects the array backend the batch kernel runs on; ``--workers N``
+fans cache misses over worker processes with shared-memory result
+transport.
 """
 
 from __future__ import annotations
@@ -121,6 +125,7 @@ def parse_shard_spec(text: str) -> tuple[int, int]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (sweep/resume/merge/show)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Cached, sharded Monte-Carlo sweeps over the UWB link "
@@ -128,61 +133,96 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     sweep = commands.add_parser(
-        "sweep", help="execute one shard of a (possibly new) sweep run")
+        "sweep", help="execute one shard of a (possibly new) sweep run",
+        epilog="examples: --ebn0 0:12:1 (0..12 dB in 1 dB steps, stop "
+               "inclusive); --ebn0 0:12 (step defaults to 1); "
+               "--ebn0 0,4,8.5 (explicit list); --scenario awgn,cm1 "
+               "--mod bpsk,ook --adc-bits none,1,4 sweeps the full "
+               "cartesian grid; --shard 1/4 runs the second of four "
+               "round-robin shards.")
     sweep.add_argument("--ebn0", type=parse_ebn0_axis, required=True,
-                       metavar="START:STOP:STEP|LIST",
-                       help="Eb/N0 axis in dB; stop is inclusive")
+                       metavar="START:STOP[:STEP]|DB[,DB...]",
+                       help="Eb/N0 axis in dB: START:STOP[:STEP] with an "
+                            "inclusive stop and a default step of 1 "
+                            "(e.g. 0:12:1 is the thirteen points 0..12), "
+                            "or a comma-separated list (e.g. 0,4,8.5)")
     sweep.add_argument("--scenario", type=parse_name_axis, default=("awgn",),
                        metavar="NAME[,NAME...]",
-                       help="channel scenario axis (default: awgn)")
+                       help="channel scenario axis, comma-separated "
+                            "registry names (default: awgn; see "
+                            "repro.sim.SCENARIOS, e.g. awgn,two_ray,cm1)")
     sweep.add_argument("--mod", type=parse_name_axis, default=("bpsk",),
                        metavar="NAME[,NAME...]",
-                       help="modulation axis (default: bpsk)")
+                       help="modulation axis, comma-separated (default: "
+                            "bpsk; also ook, ppm, pam4)")
     sweep.add_argument("--adc-bits", type=parse_adc_bits_axis,
                        default=(None,), metavar="BITS[,BITS...]",
-                       help="ADC resolution axis; 'none' keeps the config "
-                            "default")
+                       help="ADC resolution axis, comma-separated integers; "
+                            "'none' (or 'default') keeps the config "
+                            "default and may be mixed in (e.g. none,1,4)")
     sweep.add_argument("--packets", type=int, default=32, metavar="N",
-                       help="packets per grid point (default: 32)")
+                       help="packets per grid point (default: 32); raising "
+                            "it on an existing run simulates only the "
+                            "missing tail chunk per point")
     sweep.add_argument("--payload-bits", type=int, default=64, metavar="N",
                        help="payload bits per packet (default: 64)")
-    sweep.add_argument("--seed", type=int, default=0,
+    sweep.add_argument("--seed", type=int, default=0, metavar="N",
                        help="engine root seed (default: 0)")
     sweep.add_argument("--generation", choices=("gen1", "gen2"),
-                       default="gen2", help="transceiver generation")
+                       default="gen2",
+                       help="transceiver generation (default: gen2)")
     sweep.add_argument("--backend", choices=("batch", "packet"),
-                       default="batch", help="simulation backend")
+                       default="batch",
+                       help="simulation backend: 'batch' is the vectorized "
+                            "genie-timed kernel, 'packet' the full "
+                            "per-packet stack (default: batch)")
+    sweep.add_argument("--array-backend",
+                       choices=("numpy", "cupy", "jax"), default=None,
+                       help="array backend the batch kernel runs on "
+                            "(default: the REPRO_ARRAY_BACKEND environment "
+                            "variable, else numpy); an explicitly named "
+                            "accelerator must be importable")
     sweep.add_argument("--no-quantize", action="store_true",
                        help="batch backend: skip AGC + ADC quantization")
     sweep.add_argument("--shard", type=parse_shard_spec, default=(0, 1),
                        metavar="I/K",
-                       help="execute shard I of K (default: 0/1)")
+                       help="execute shard I of K (0 <= I < K, default "
+                            "0/1); shard I owns manifest points I, I+K, "
+                            "I+2K, ... and any machine seeing the run "
+                            "directory may execute it")
     sweep.add_argument("--out", default="runs", metavar="DIR",
                        help="directory holding run directories "
                             "(default: runs)")
-    sweep.add_argument("--name", default=None,
+    sweep.add_argument("--name", default=None, metavar="NAME",
                        help="run name (default: derived from the grid "
                             "digest)")
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="simulate cache misses on N threads")
+                       help="simulate cache misses on N worker processes "
+                            "(results return through shared memory, "
+                            "bit-identical to serial; default: serial)")
 
     resume = commands.add_parser(
         "resume", help="finish every incomplete shard of an existing run")
     resume.add_argument("--run", required=True, metavar="DIR",
                         help="run directory (as printed by sweep)")
-    resume.add_argument("--workers", type=int, default=None, metavar="N")
+    resume.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="simulate cache misses on N worker processes "
+                             "(shared-memory transport; default: serial)")
 
     merge = commands.add_parser(
         "merge", help="merge shard outputs and export a curve artifact")
-    merge.add_argument("--run", required=True, metavar="DIR")
-    merge.add_argument("--name", default=None,
+    merge.add_argument("--run", required=True, metavar="DIR",
+                       help="run directory (as printed by sweep)")
+    merge.add_argument("--name", default=None, metavar="NAME",
                        help="artifact name (default: the run name)")
     merge.add_argument("--allow-partial", action="store_true",
-                       help="merge whatever is measured so far")
+                       help="merge whatever is measured so far instead of "
+                            "failing on unmeasured points")
 
     show = commands.add_parser(
         "show", help="print a run's manifest, shard status and coverage")
-    show.add_argument("--run", required=True, metavar="DIR")
+    show.add_argument("--run", required=True, metavar="DIR",
+                      help="run directory (as printed by sweep)")
     return parser
 
 
@@ -200,8 +240,10 @@ def _print_curves(result, out) -> None:
 
 
 def _engine_from_args(args) -> SweepEngine:
+    """Build the sweep engine a ``sweep`` invocation describes."""
     return SweepEngine(generation=args.generation, seed=args.seed,
-                       backend=args.backend, quantize=not args.no_quantize)
+                       backend=args.backend, quantize=not args.no_quantize,
+                       array_backend=args.array_backend)
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,6 @@ already in the store are served from cache.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -66,7 +65,14 @@ def _point_from_dict(data: dict) -> SweepPoint:
 
 @dataclass(frozen=True)
 class RunManifest:
-    """Everything that identifies and reproduces one sharded run."""
+    """Everything that identifies and reproduces one sharded run.
+
+    ``array_backend`` records which :mod:`repro.sim.backends` backend
+    produced the results (``"numpy"`` for manifests written before the
+    backend abstraction existed); :meth:`RunDriver.open` rebuilds the
+    engine with it so cached measurements are never mixed across
+    backends whose random streams differ.
+    """
 
     name: str
     seed: int
@@ -79,6 +85,7 @@ class RunManifest:
     payload_bits_per_packet: int
     num_shards: int
     code_version: str
+    array_backend: str = "numpy"
     points: tuple[SweepPoint, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -123,10 +130,12 @@ class RunManifest:
         return self.points[shard_index::self.num_shards]
 
     def shard_file_stem(self, shard_index: int) -> str:
+        """Base name shared by a shard's store file and completion marker."""
         return f"shard-{shard_index:03d}-of-{self.num_shards:03d}"
 
     # -- persistence ----------------------------------------------------
     def to_dict(self) -> dict:
+        """Plain-type mapping persisted as ``manifest.json``."""
         return {
             "manifest_version": _MANIFEST_VERSION,
             "name": self.name,
@@ -141,11 +150,13 @@ class RunManifest:
             "payload_bits_per_packet": self.payload_bits_per_packet,
             "num_shards": self.num_shards,
             "code_version": self.code_version,
+            "array_backend": self.array_backend,
             "points": [_point_to_dict(point) for point in self.points],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
+        """Parse a manifest mapping, verifying version and grid digest."""
         if data.get("manifest_version") != _MANIFEST_VERSION:
             raise ValueError("unsupported manifest version "
                              f"{data.get('manifest_version')!r}")
@@ -162,6 +173,7 @@ class RunManifest:
                 payload_bits_per_packet=int(data["payload_bits_per_packet"]),
                 num_shards=int(data["num_shards"]),
                 code_version=str(data["code_version"]),
+                array_backend=str(data.get("array_backend", "numpy")),
                 points=tuple(_point_from_dict(point)
                              for point in data["points"]))
         except (KeyError, TypeError) as error:
@@ -173,6 +185,7 @@ class RunManifest:
         return manifest
 
     def save(self, run_dir) -> Path:
+        """Atomically write ``manifest.json`` into ``run_dir``; returns its path."""
         run_dir = Path(run_dir)
         run_dir.mkdir(parents=True, exist_ok=True)
         path = run_dir / _MANIFEST_NAME
@@ -182,6 +195,7 @@ class RunManifest:
 
     @classmethod
     def load(cls, run_dir) -> "RunManifest":
+        """Read and validate ``run_dir``'s ``manifest.json``."""
         path = Path(run_dir) / _MANIFEST_NAME
         if not path.is_file():
             raise FileNotFoundError(f"no run manifest at {path}")
@@ -206,6 +220,7 @@ class RunReport:
         return self.points_simulated == 0 and self.packets_simulated == 0
 
     def summary(self) -> str:
+        """One-line human-readable account of the shard execution."""
         text = (f"shard {self.shard_index}/{self.num_shards}: "
                 f"{self.points_total} point(s) -> "
                 f"{self.points_simulated} simulated, "
@@ -217,6 +232,7 @@ class RunReport:
         return text
 
     def merged_with(self, other: "RunReport") -> "RunReport":
+        """Pool the counters of two reports (used by ``run_pending``)."""
         return RunReport(
             shard_index=self.shard_index, num_shards=self.num_shards,
             points_total=self.points_total + other.points_total,
@@ -278,6 +294,7 @@ class RunDriver:
             payload_bits_per_packet=payload_bits_per_packet,
             num_shards=num_shards,
             code_version=_code_version(),
+            array_backend=engine.array_backend,
             points=points)
         if (run_dir / _MANIFEST_NAME).is_file():
             existing = RunManifest.load(run_dir)
@@ -323,7 +340,8 @@ class RunDriver:
             engine = SweepEngine(generation=manifest.generation,
                                  seed=manifest.seed,
                                  backend=manifest.backend,
-                                 quantize=manifest.quantize)
+                                 quantize=manifest.quantize,
+                                 array_backend=manifest.array_backend)
         return cls(run_dir, manifest, engine)
 
     # ------------------------------------------------------------------
@@ -331,10 +349,12 @@ class RunDriver:
     # ------------------------------------------------------------------
     @property
     def store_dir(self) -> Path:
+        """The run's content-addressed result store directory."""
         return self.run_dir / _STORE_DIR
 
     @property
     def artifacts_dir(self) -> Path:
+        """Where ``merge`` exports named curve artifacts."""
         return self.run_dir / _ARTIFACTS_DIR
 
     def _marker_path(self, shard_index: int) -> Path:
@@ -359,6 +379,10 @@ class RunDriver:
                   on_point=None) -> RunReport:
         """Execute one shard: cached points are served, the rest simulated.
 
+        ``max_workers`` fans the shard's cache misses out over that many
+        worker processes through
+        :meth:`repro.sim.SweepEngine.measure_points` (shared-memory
+        result transport); results are bit-identical to a serial run.
         ``on_point`` (optional) is called as ``on_point(point,
         measurement, source)`` per point in shard order, ``source`` being
         ``"cached"`` or ``"simulated"``.  Safe to re-run after a crash —
@@ -386,18 +410,11 @@ class RunDriver:
             covered = store.coverage(key)
             jobs.append((index, point, key, covered, requested - covered))
 
-        def simulate(job):
-            _, point, _, covered, missing = job
-            return self.engine.measure_point(
-                point, num_packets=missing,
-                payload_bits_per_packet=payload_bits,
-                packet_offset=covered)
-
-        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                chunks = list(pool.map(simulate, jobs))
-        else:
-            chunks = [simulate(job) for job in jobs]
+        chunks = self.engine.measure_points(
+            [(point, missing, covered)
+             for _, point, _, covered, missing in jobs],
+            payload_bits_per_packet=payload_bits,
+            max_workers=max_workers) if jobs else []
 
         # Store writes stay on the driver thread, in shard order, so the
         # shard's JSONL file is deterministic for a given cache state.
@@ -459,6 +476,7 @@ class RunDriver:
 
     @property
     def is_complete(self) -> bool:
+        """True when every shard has a completion marker."""
         return not self.pending_shards()
 
     # ------------------------------------------------------------------

@@ -66,9 +66,11 @@ class StoredChunk:
 
     @property
     def num_packets(self) -> int:
+        """Packets this chunk contributes (its measurement's batch size)."""
         return self.measurement.packets_sent
 
     def to_record(self) -> dict:
+        """Plain-type mapping written as one JSONL store line."""
         return {"schema": _SCHEMA_VERSION,
                 "key": self.key,
                 "packet_offset": int(self.packet_offset),
@@ -76,6 +78,7 @@ class StoredChunk:
 
     @classmethod
     def from_record(cls, record: dict) -> "StoredChunk":
+        """Parse one store record, raising ``ValueError`` on malformed data."""
         if not isinstance(record, dict):
             raise ValueError("store record is not an object")
         if record.get("schema") != _SCHEMA_VERSION:
@@ -166,6 +169,7 @@ class ResultStore:
         return key in self._chunks
 
     def keys(self) -> tuple[str, ...]:
+        """Every measurement key present in the store, sorted."""
         return tuple(sorted(self._chunks))
 
     def coverage(self, key: str) -> int:

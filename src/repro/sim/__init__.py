@@ -39,8 +39,27 @@ Two backends share the same grid interface: ``backend="batch"`` (default)
 is the vectorized genie-timed kernel in :mod:`repro.sim.batch`;
 ``backend="packet"`` drives the full per-packet transceiver stack when
 acquisition, channel estimation, and CRC behaviour must be included.
+
+Orthogonal to that choice, the batch kernel's array operations run on a
+pluggable *array backend* (:mod:`repro.sim.backends`): the NumPy
+reference (bit-identical to the historical code), CuPy (CUDA GPUs), or
+JAX — ``SweepEngine(array_backend="cupy")``, ``--array-backend`` on the
+CLI, or the ``REPRO_ARRAY_BACKEND`` environment variable.  Process
+fan-out (``max_workers``) returns results through
+``multiprocessing.shared_memory`` blocks (:mod:`repro.sim.shm`) instead
+of pickles, bit-identical to a serial run.
 """
 
+from repro.sim.backends import (
+    ArrayBackend,
+    CupyBackend,
+    JaxBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    reference_backend,
+    register_backend,
+)
 from repro.sim.batch import BatchedLinkModel, BatchResult, pulse_for_config
 from repro.sim.engine import SweepEngine, SweepPoint, SweepResult, sweep_grid
 from repro.sim.scenarios import (
@@ -49,17 +68,27 @@ from repro.sim.scenarios import (
     ScenarioRegistry,
     default_registry,
 )
+from repro.sim.shm import ChunkResultBlock
 
 __all__ = [
+    "ArrayBackend",
     "BatchResult",
     "BatchedLinkModel",
+    "ChunkResultBlock",
+    "CupyBackend",
+    "JaxBackend",
+    "NumpyBackend",
     "SCENARIOS",
     "Scenario",
     "ScenarioRegistry",
     "SweepEngine",
     "SweepPoint",
     "SweepResult",
+    "available_backends",
     "default_registry",
+    "get_backend",
     "pulse_for_config",
+    "reference_backend",
+    "register_backend",
     "sweep_grid",
 ]

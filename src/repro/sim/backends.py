@@ -1,0 +1,524 @@
+"""Pluggable array backends for the batched Monte-Carlo kernel.
+
+The vectorized kernel (:class:`repro.sim.batch.BatchedLinkModel`) is a
+pipeline of plain ``ndarray`` operations — array creation, broadcasting,
+FFT convolution, ``einsum``, random draws.  An :class:`ArrayBackend`
+bundles exactly that surface behind one object, so the same kernel code
+runs on
+
+* :class:`NumpyBackend` — the reference implementation.  Delegates
+  straight to ``numpy``/``scipy`` and is **bit-identical** to the
+  historical module-level ``np`` code path (golden-fixture guarded).
+* :class:`CupyBackend` — CUDA GPUs via `CuPy <https://cupy.dev>`_, when
+  ``cupy`` is importable.  Waveform-scale operations stay on the device;
+  the IIR notch falls back to the host when ``cupyx.scipy.signal`` does
+  not provide ``lfilter``.
+* :class:`JaxBackend` — CPU/GPU/TPU via `JAX <https://jax.dev>`_, when
+  ``jax`` is importable.  Enables 64-bit mode for parity with the NumPy
+  reference; the IIR notch and the uniform quantizer reference run on
+  the host.
+
+Accelerator backends are *import-gated*: constructing one on a machine
+without the library raises a clear ``ImportError``, and resolving a
+backend from the ``REPRO_ARRAY_BACKEND`` environment variable falls back
+to NumPy with a warning instead of failing, so the same script runs
+everywhere.  Accelerator random streams are seeded from the caller's
+NumPy generator but draw natively on the device, so their Monte-Carlo
+results agree with NumPy statistically (BER within binomial tolerance),
+not bit-for-bit.
+
+Select a backend explicitly::
+
+    from repro.sim import SweepEngine
+    engine = SweepEngine(array_backend="cupy")      # raises if no cupy
+
+or ambiently::
+
+    REPRO_ARRAY_BACKEND=jax python -m repro sweep --ebn0 0:12:1 ...
+
+Custom backends: subclass :class:`ArrayBackend`, then
+:func:`register_backend` it so worker processes can resolve it by name.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy import signal as sp_signal
+
+from repro.adc.quantizer import UniformQuantizer
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "JaxBackend",
+    "available_backends",
+    "get_backend",
+    "reference_backend",
+    "register_backend",
+    "BACKEND_ENV_VAR",
+]
+
+BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+
+class ArrayBackend:
+    """The array namespace and helper operations the batched kernel uses.
+
+    Subclasses set :attr:`xp` to an array-API-style module (``numpy``,
+    ``cupy``, ``jax.numpy``) and override the helpers whose accelerated
+    form differs from the generic implementation.  The generic
+    implementations below are written against ``self.xp`` only, so a
+    minimal subclass just provides ``xp`` plus host transfer.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cupy"``, ``"jax"``), also what
+        :class:`repro.sim.SweepEngine` records in config digests.
+    xp:
+        The backend's array namespace module.
+    """
+
+    name = "abstract"
+    xp: object = None
+
+    # -- availability ---------------------------------------------------
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's array library is importable here."""
+        return False
+
+    # -- transfers ------------------------------------------------------
+    def asarray(self, array, dtype=None):
+        """Put ``array`` on this backend's device (no copy when already there)."""
+        if dtype is None:
+            return self.xp.asarray(array)
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Fetch ``array`` back to host memory as a ``numpy.ndarray``."""
+        return np.asarray(array)
+
+    # -- signal processing ----------------------------------------------
+    def fftconvolve_full(self, signals, kernel):
+        """Full linear convolution along the last axis (FFT based).
+
+        ``signals`` is ``(..., n)``; ``kernel`` broadcasts against the
+        leading axes (typically shape ``(1, ..., taps)``).  The generic
+        implementation multiplies in the frequency domain with
+        ``self.xp.fft``; subclasses may substitute a tuned library call.
+        """
+        xp = self.xp
+        n = int(signals.shape[-1]) + int(kernel.shape[-1]) - 1
+        if xp.iscomplexobj(signals) or xp.iscomplexobj(kernel):
+            spectrum = (xp.fft.fft(signals, n=n, axis=-1)
+                        * xp.fft.fft(kernel, n=n, axis=-1))
+            return xp.fft.ifft(spectrum, n=n, axis=-1)
+        spectrum = (xp.fft.rfft(signals, n=n, axis=-1)
+                    * xp.fft.rfft(kernel, n=n, axis=-1))
+        return xp.fft.irfft(spectrum, n=n, axis=-1)
+
+    def lfilter(self, b, a, samples):
+        """IIR filter along the last axis (the batched notch).
+
+        The generic implementation round-trips through the host and
+        ``scipy.signal.lfilter`` — recursive filters are a poor fit for
+        accelerator vectorization, and the notch runs once per batch.
+        """
+        host = sp_signal.lfilter(b, a, self.to_numpy(samples), axis=-1)
+        return self.asarray(host)
+
+    def symbol_windows(self, samples, positions, length: int):
+        """Gather per-symbol windows: ``(..., n) -> (..., len(positions), length)``.
+
+        ``positions`` is a host integer array of window start indices
+        along the last axis.  The generic implementation materializes the
+        windows with advanced indexing, which every array library
+        supports; NumPy overrides it with a zero-copy strided view.
+        """
+        xp = self.xp
+        index = (self.asarray(np.asarray(positions, dtype=np.int64))[:, None]
+                 + self.asarray(np.arange(length, dtype=np.int64))[None, :])
+        return samples[..., index]
+
+    def quantize_uniform(self, samples, bits: int, full_scale: float):
+        """Mid-rise uniform quantization with saturation (the batch ADC).
+
+        Mirrors :class:`repro.adc.quantizer.UniformQuantizer` — complex
+        input is quantized component-wise.  NumPy overrides this to call
+        the quantizer class itself, keeping the reference path
+        bit-identical by construction.
+        """
+        xp = self.xp
+        num_levels = 1 << int(bits)
+        step = 2.0 * float(full_scale) / num_levels
+
+        def _component(x):
+            codes = xp.clip(xp.floor((x + full_scale) / step),
+                            0, num_levels - 1)
+            return (codes + 0.5) * step - full_scale
+
+        if xp.iscomplexobj(samples):
+            return _component(samples.real) + 1j * _component(samples.imag)
+        return _component(samples)
+
+    # -- randomness -----------------------------------------------------
+    def random_source(self, rng: np.random.Generator | None):
+        """A draw source (``integers`` / ``standard_normal``) for this device.
+
+        ``rng`` is the caller's host :class:`numpy.random.Generator`; the
+        NumPy backend returns it unchanged (bit-identical streams), while
+        accelerator backends seed a device generator from it.
+        """
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: plain ``numpy`` + ``scipy``, bit-identical to
+    the pre-backend-abstraction kernel (guarded by golden fixtures)."""
+
+    name = "numpy"
+    xp = np
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Always true — NumPy is a hard dependency."""
+        return True
+
+    def asarray(self, array, dtype=None):
+        """Identity-preserving ``numpy.asarray``."""
+        return np.asarray(array) if dtype is None else np.asarray(array,
+                                                                  dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Already host memory; returns the array itself."""
+        return np.asarray(array)
+
+    def fftconvolve_full(self, signals, kernel):
+        """``scipy.signal.fftconvolve(..., mode="full", axes=-1)``."""
+        return sp_signal.fftconvolve(signals, kernel, mode="full", axes=-1)
+
+    def lfilter(self, b, a, samples):
+        """``scipy.signal.lfilter`` along the last axis, in place on host."""
+        return sp_signal.lfilter(b, a, samples, axis=-1)
+
+    def symbol_windows(self, samples, positions, length: int):
+        """Zero-copy strided windows via ``sliding_window_view``."""
+        windows = sliding_window_view(samples, length, axis=-1)
+        return windows[..., np.asarray(positions, dtype=np.int64), :]
+
+    def quantize_uniform(self, samples, bits: int, full_scale: float):
+        """Delegate to the reference :class:`UniformQuantizer`."""
+        return UniformQuantizer(bits=bits,
+                                full_scale=full_scale).quantize(samples)
+
+    def random_source(self, rng: np.random.Generator | None):
+        """The caller's generator itself (or a fresh default one)."""
+        return rng if rng is not None else np.random.default_rng()
+
+
+class _SeededDeviceSource:
+    """Adapter exposing ``integers``/``standard_normal`` on a device RNG,
+    falling back to host draws + transfer when the device generator lacks
+    a method (keeps older accelerator releases working)."""
+
+    def __init__(self, backend: ArrayBackend, device_rng,
+                 host_rng: np.random.Generator) -> None:
+        self._backend = backend
+        self._device_rng = device_rng
+        self._host_rng = host_rng
+
+    def integers(self, low, high=None, size=None, dtype=np.int64):
+        """Uniform integers in ``[low, high)`` as a device array."""
+        try:
+            draw = self._device_rng.integers(low, high, size=size)
+        except (AttributeError, TypeError):
+            return self._backend.asarray(
+                self._host_rng.integers(low, high, size=size, dtype=dtype))
+        return self._backend.asarray(draw, dtype=dtype)
+
+    def standard_normal(self, size=None):
+        """Standard normal draws as a device array."""
+        try:
+            return self._device_rng.standard_normal(size=size)
+        except (AttributeError, TypeError):
+            return self._backend.asarray(
+                self._host_rng.standard_normal(size=size))
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA backend backed by ``cupy`` (import-gated).
+
+    Waveform-scale operations (synthesis, convolution, noise, matched
+    filtering, quantization) run on the GPU; ray bookkeeping and the
+    modulator symbol maps stay on the host where they are O(packets), not
+    O(samples).  Random streams are device-native, seeded from the host
+    generator, so results agree with NumPy statistically rather than
+    bit-for-bit.
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as error:
+            raise ImportError(
+                "the 'cupy' array backend needs CuPy (pip install "
+                "cupy-cuda12x for CUDA 12); use array_backend='numpy' or "
+                "unset REPRO_ARRAY_BACKEND") from error
+        # CuPy importing is not enough — without a usable CUDA device the
+        # first kernel launch would die deep in the sweep.  Raise the same
+        # ImportError the registry's fallback path understands.
+        try:
+            device_count = cupy.cuda.runtime.getDeviceCount()
+        except Exception as error:
+            raise ImportError(
+                "cupy imports but CUDA is unusable "
+                f"({type(error).__name__}: {error}); use "
+                "array_backend='numpy' or unset "
+                "REPRO_ARRAY_BACKEND") from error
+        if device_count < 1:
+            raise ImportError(
+                "cupy imports but no CUDA device is visible; use "
+                "array_backend='numpy' or unset REPRO_ARRAY_BACKEND")
+        self.xp = cupy
+        self._cupy = cupy
+        try:
+            from cupyx.scipy import signal as cupyx_signal
+        except ImportError:
+            cupyx_signal = None
+        self._signal = cupyx_signal
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """True when ``cupy`` imports and sees at least one CUDA device."""
+        try:
+            import cupy
+            return cupy.cuda.runtime.getDeviceCount() > 0
+        except Exception:
+            return False
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Device-to-host copy via ``cupy.asnumpy``."""
+        return self._cupy.asnumpy(array)
+
+    def fftconvolve_full(self, signals, kernel):
+        """``cupyx.scipy.signal.fftconvolve`` when present, else generic FFT."""
+        if self._signal is not None and hasattr(self._signal, "fftconvolve"):
+            return self._signal.fftconvolve(signals, kernel, mode="full",
+                                            axes=-1)
+        return super().fftconvolve_full(signals, kernel)
+
+    def lfilter(self, b, a, samples):
+        """``cupyx.scipy.signal.lfilter`` when present, else host fallback."""
+        if self._signal is not None and hasattr(self._signal, "lfilter"):
+            return self._signal.lfilter(
+                self.asarray(np.asarray(b)), self.asarray(np.asarray(a)),
+                samples, axis=-1)
+        return super().lfilter(b, a, samples)
+
+    def random_source(self, rng: np.random.Generator | None):
+        """A device generator seeded from the host generator's stream."""
+        host = rng if rng is not None else np.random.default_rng()
+        seed = int(host.integers(0, 2 ** 63 - 1))
+        return _SeededDeviceSource(self, self._cupy.random.default_rng(seed),
+                                   np.random.default_rng(seed))
+
+
+class _JaxRandomSource:
+    """Functional JAX PRNG behind the imperative draw interface the
+    kernel expects (one key split per draw)."""
+
+    def __init__(self, jax_module, xp, seed: int) -> None:
+        self._jax = jax_module
+        self._xp = xp
+        self._key = jax_module.random.PRNGKey(seed)
+
+    def _next_key(self):
+        self._key, sub = self._jax.random.split(self._key)
+        return sub
+
+    def integers(self, low, high=None, size=None, dtype=np.int64):
+        """Uniform integers in ``[low, high)`` as a device array."""
+        shape = () if size is None else tuple(np.atleast_1d(size))
+        return self._jax.random.randint(self._next_key(), shape, low, high,
+                                        dtype=self._xp.int64)
+
+    def standard_normal(self, size=None):
+        """Standard normal draws as a device array."""
+        shape = () if size is None else tuple(np.atleast_1d(size))
+        return self._jax.random.normal(self._next_key(), shape,
+                                       dtype=self._xp.float64)
+
+
+class JaxBackend(ArrayBackend):
+    """JAX backend (CPU/GPU/TPU, import-gated).
+
+    Runs eagerly with 64-bit mode enabled so dtypes match the NumPy
+    reference.  ``jax.scipy.signal.fftconvolve`` is used when it accepts
+    ``axes``; otherwise the generic frequency-domain convolution applies.
+    The IIR notch and the reference quantizer round-trip through the host
+    (inherited generic implementations).
+    """
+
+    name = "jax"
+
+    def __init__(self) -> None:
+        try:
+            import jax
+        except ImportError as error:
+            raise ImportError(
+                "the 'jax' array backend needs JAX (pip install jax for "
+                "the CPU wheel); use array_backend='numpy' or unset "
+                "REPRO_ARRAY_BACKEND") from error
+        jax.config.update("jax_enable_x64", True)
+        import jax.numpy as jnp
+        self.xp = jnp
+        self._jax = jax
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """True when ``jax`` is importable."""
+        try:
+            import jax  # noqa: F401
+            return True
+        except Exception:
+            return False
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Blocks on the device value and copies it to host memory."""
+        return np.asarray(array)
+
+    def fftconvolve_full(self, signals, kernel):
+        """``jax.scipy.signal.fftconvolve`` if it supports ``axes``."""
+        try:
+            from jax.scipy.signal import fftconvolve
+            return fftconvolve(signals, kernel, mode="full", axes=-1)
+        except (ImportError, TypeError):
+            return super().fftconvolve_full(signals, kernel)
+
+    def random_source(self, rng: np.random.Generator | None):
+        """A split-per-draw JAX PRNG seeded from the host generator."""
+        host = rng if rng is not None else np.random.default_rng()
+        return _JaxRandomSource(self._jax, self.xp,
+                                int(host.integers(0, 2 ** 31 - 1)))
+
+
+_REGISTRY: dict[str, type[ArrayBackend]] = {
+    NumpyBackend.name: NumpyBackend,
+    CupyBackend.name: CupyBackend,
+    JaxBackend.name: JaxBackend,
+}
+_INSTANCES: dict[str, ArrayBackend] = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(backend_class: type[ArrayBackend],
+                     overwrite: bool = False) -> None:
+    """Register a custom :class:`ArrayBackend` subclass by its ``name``.
+
+    Registration makes the backend resolvable by name in worker
+    processes (parallel sweeps ship the backend *name*, not the object).
+    ``overwrite`` must be true to replace an existing registration.
+    """
+    if not (isinstance(backend_class, type)
+            and issubclass(backend_class, ArrayBackend)):
+        raise TypeError("register_backend expects an ArrayBackend subclass")
+    name = backend_class.name
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"array backend {name!r} is already registered; "
+                         "pass overwrite=True to replace it")
+    with _LOCK:
+        _REGISTRY[name] = backend_class
+        _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered backends usable on this machine, in
+    registration order (``"numpy"`` always first)."""
+    return tuple(name for name, cls in _REGISTRY.items()
+                 if cls.is_available())
+
+
+def reference_backend() -> ArrayBackend:
+    """The NumPy reference backend instance.
+
+    This is what array-accepting library functions (``awgn``,
+    ``MultipathChannel.apply_batch``, ...) default to when no backend is
+    passed — deliberately *not* the ``REPRO_ARRAY_BACKEND`` environment
+    variable, so the per-packet reference stack stays bit-reproducible
+    whatever the environment says; only the batch kernel/engine layer
+    opts into ambient selection via :func:`get_backend` with ``None``.
+    """
+    return _resolve_name("numpy", strict=True)
+
+
+def _resolve_name(name: str, strict: bool) -> ArrayBackend:
+    key = name.strip().lower()
+    with _LOCK:
+        instance = _INSTANCES.get(key)
+    if instance is not None:
+        return instance
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown array backend {name!r}; registered: "
+                         f"{', '.join(sorted(_REGISTRY))}")
+    try:
+        instance = _REGISTRY[key]()
+    except ImportError:
+        if strict:
+            raise
+        warnings.warn(
+            f"array backend {key!r} is not available on this machine; "
+            "falling back to the NumPy reference backend", stacklevel=3)
+        return _resolve_name("numpy", strict=True)
+    with _LOCK:
+        _INSTANCES.setdefault(key, instance)
+    return instance
+
+
+def get_backend(backend=None, strict: bool = True) -> ArrayBackend:
+    """Resolve an array backend specification to a live instance.
+
+    Parameters
+    ----------
+    backend:
+        ``None`` (consult the ``REPRO_ARRAY_BACKEND`` environment
+        variable, default ``"numpy"``), a registered name, or an
+        :class:`ArrayBackend` instance — returned as-is *and* cached
+        under its ``name`` so later lookups by name (e.g. in forked
+        worker processes) resolve to that same instance; spawn-based
+        platforms should :func:`register_backend` the class instead.
+    strict:
+        When the backend's library is missing: ``True`` raises the
+        underlying ``ImportError``; ``False`` warns and falls back to
+        NumPy.  Environment-variable resolution is never strict, so an
+        exported ``REPRO_ARRAY_BACKEND=cupy`` cannot break a
+        CPU-only machine.
+    """
+    if isinstance(backend, ArrayBackend):
+        with _LOCK:
+            _INSTANCES.setdefault(backend.name.strip().lower(), backend)
+        return backend
+    if backend is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if not name:
+            return _resolve_name("numpy", strict=True)
+        try:
+            return _resolve_name(name, strict=False)
+        except ValueError:
+            warnings.warn(
+                f"{BACKEND_ENV_VAR}={name!r} names no registered array "
+                "backend; falling back to the NumPy reference backend",
+                stacklevel=2)
+            return _resolve_name("numpy", strict=True)
+    if isinstance(backend, str):
+        return _resolve_name(backend, strict=strict)
+    raise TypeError("backend must be None, a backend name, or an "
+                    f"ArrayBackend instance, not {type(backend).__name__}")

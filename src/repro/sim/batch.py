@@ -5,7 +5,7 @@ time through the full transceiver stack — transmitter, channel, AWGN, AGC,
 ADC, acquisition, channel estimation, RAKE — which makes wide BER grids
 slow.  This module provides the *fast path*: a :class:`BatchedLinkModel`
 that carries a leading batch axis end-to-end, so one grid point becomes a
-handful of NumPy array operations instead of a Python loop:
+handful of array operations instead of a Python loop:
 
 * packet generation: one ``(packets, bits)`` draw, one modulation call;
 * pulse shaping: an outer product with the per-symbol pulse template;
@@ -14,6 +14,15 @@ handful of NumPy array operations instead of a Python loop:
 * AWGN: one broadcasted noise draw with per-packet noise levels;
 * demodulation: a strided matched-filter correlation against the
   channel-convolved template (the ideal all-finger RAKE).
+
+Every array operation routes through an
+:class:`repro.sim.backends.ArrayBackend`, so the same kernel runs on the
+NumPy reference (bit-identical to the historical module-level ``np``
+code), on a CUDA device via CuPy, or under JAX — pass ``backend=`` (a
+name or an :class:`~repro.sim.backends.ArrayBackend`) or set the
+``REPRO_ARRAY_BACKEND`` environment variable.  Host-side work (modulator
+symbol maps, channel ray bookkeeping, the final error count) is
+O(packets); everything O(samples) runs on the backend's device.
 
 The model is *genie-aided* on the receiver side — symbol timing and the
 channel impulse response are known exactly, so there is no acquisition or
@@ -29,10 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
-from scipy import signal as sp_signal
 
-from repro.adc.quantizer import UniformQuantizer
 from repro.channel.awgn import awgn, noise_std_for_ebn0
 from repro.channel.interference import accepts_rng
 from repro.channel.multipath import MultipathChannel
@@ -40,6 +46,7 @@ from repro.core.config import Gen1Config, Gen2Config
 from repro.core.metrics import BERPoint
 from repro.pulses.modulation import make_modulator
 from repro.pulses.shapes import Pulse, gaussian_derivative_pulse, gaussian_pulse
+from repro.sim.backends import ArrayBackend, get_backend
 from repro.utils.validation import require_int
 
 __all__ = ["BatchResult", "BatchedLinkModel", "pulse_for_config"]
@@ -110,15 +117,22 @@ class BatchedLinkModel:
         to the quantized samples (the batched equivalent of the spectral
         monitor + digital notch control loop, with a genie frequency
         estimate).
+    backend:
+        Array backend carrying every waveform-scale operation: ``None``
+        (environment default, normally NumPy), a registered backend name
+        (``"numpy"``, ``"cupy"``, ``"jax"``), or an
+        :class:`~repro.sim.backends.ArrayBackend` instance.
     """
 
     def __init__(self, config, modulation: str = "bpsk",
                  quantize: bool = True,
-                 notch_frequency_hz: float | None = None) -> None:
+                 notch_frequency_hz: float | None = None,
+                 backend: str | ArrayBackend | None = None) -> None:
         self.config = config
         self.modulator = make_modulator(modulation)
         self.quantize = bool(quantize)
         self.notch_frequency_hz = notch_frequency_hz
+        self.backend = get_backend(backend)
         self.pulse = pulse_for_config(config)
 
         self.sim_rate_hz = config.simulation_rate_hz
@@ -134,21 +148,28 @@ class BatchedLinkModel:
                              "ADC sample periods")
         self.samples_per_symbol_adc = self.samples_per_symbol // self.decimation
 
+        # Templates are assembled on the host (tiny arrays, Python loop)
+        # and mirrored onto the backend's device for the batch products.
         template = np.zeros(self.samples_per_symbol,
                             dtype=self.pulse.waveform.dtype)
         for rep in range(config.pulses_per_bit):
             start = rep * samples_per_pri
             template[start:start + self.pulse.num_samples] += self.pulse.waveform
         self.symbol_template = template
+        self._symbol_template_dev = self.backend.asarray(template)
 
         offsets = self.modulator.position_offsets
         if offsets is not None:
             self.position_templates = tuple(
                 self._shifted_template(offset) for offset in offsets)
+            self._position_templates_dev = tuple(
+                self.backend.asarray(t) for t in self.position_templates)
         else:
             self.position_templates = None
+            self._position_templates_dev = None
 
     def _shifted_template(self, offset_s: float) -> np.ndarray:
+        """Host-side symbol template delayed by a PPM position offset."""
         shift = int(round(offset_s * self.sim_rate_hz))
         if shift >= self.samples_per_symbol:
             raise ValueError("position offset exceeds the symbol duration")
@@ -161,8 +182,12 @@ class BatchedLinkModel:
     # Transmit side
     # ------------------------------------------------------------------
     def modulate(self, bits: np.ndarray) -> np.ndarray:
-        """Map a ``(packets, bits)`` array to per-symbol modulation symbols."""
-        bits = np.asarray(bits, dtype=np.int64)
+        """Map a ``(packets, bits)`` array to per-symbol modulation symbols.
+
+        Runs on the host — the modulator maps are O(packets x symbols),
+        negligible next to the O(samples) waveform work.
+        """
+        bits = np.asarray(self.backend.to_numpy(bits), dtype=np.int64)
         packets, num_bits = bits.shape
         bps = self.modulator.bits_per_symbol
         if num_bits % bps != 0:
@@ -172,46 +197,57 @@ class BatchedLinkModel:
         symbols = self.modulator.modulate(bits.ravel())
         return symbols.reshape(packets, num_bits // bps)
 
-    def synthesize(self, symbols: np.ndarray) -> np.ndarray:
-        """Pulse-shape a ``(packets, symbols)`` array into batch waveforms."""
+    def synthesize(self, symbols: np.ndarray):
+        """Pulse-shape a ``(packets, symbols)`` array into batch waveforms.
+
+        The outer products against the symbol template run on the array
+        backend; the returned waveform is a backend (device) array.
+        """
+        xp = self.backend.xp
         symbols = np.asarray(symbols)
         packets, num_symbols = symbols.shape
-        if self.position_templates is not None:
-            indices = symbols.astype(np.int64)
-            waveform = np.zeros(
+        if self._position_templates_dev is not None:
+            indices = self.backend.asarray(symbols.astype(np.int64))
+            waveform = xp.zeros(
                 (packets, num_symbols, self.samples_per_symbol),
                 dtype=self.symbol_template.dtype)
-            for position, template in enumerate(self.position_templates):
-                mask = (indices == position)[:, :, np.newaxis]
-                waveform += mask * template
+            for position, template in enumerate(self._position_templates_dev):
+                mask = (indices == position)[:, :, None]
+                waveform = waveform + mask * template
         else:
-            amplitudes = self.modulator.symbols_to_amplitudes(
-                symbols.ravel()).reshape(packets, num_symbols)
-            waveform = amplitudes[:, :, np.newaxis] * self.symbol_template
+            amplitudes = self.backend.asarray(
+                self.modulator.symbols_to_amplitudes(
+                    symbols.ravel()).reshape(packets, num_symbols))
+            waveform = amplitudes[:, :, None] * self._symbol_template_dev
         return waveform.reshape(packets, num_symbols * self.samples_per_symbol)
 
     # ------------------------------------------------------------------
     # Receive side
     # ------------------------------------------------------------------
-    def _agc_gains(self, samples: np.ndarray) -> np.ndarray:
+    def _agc_gains(self, samples):
         """Per-packet feed-forward gains, mirroring the receiver's block AGC."""
-        peaks = np.max(np.abs(samples), axis=-1)
+        xp = self.backend.xp
+        peaks = xp.max(xp.abs(samples), axis=-1)
         target = _AGC_FULL_SCALE * 10.0 ** (-_AGC_PEAK_BACKOFF_DB / 20.0)
-        return np.where(peaks > 0, target / np.maximum(peaks, 1e-300), 1.0)
+        return xp.where(peaks > 0, target / xp.maximum(peaks, 1e-300), 1.0)
 
-    def _apply_notch(self, samples: np.ndarray) -> np.ndarray:
+    def _apply_notch(self, samples):
         """Batched complex one-pole notch (same transfer function as
         :class:`repro.dsp.notch.DigitalNotchFilter`)."""
         w0 = (2.0 * np.pi * self.notch_frequency_hz
               / self.config.adc_rate_hz)
         zero = np.exp(1j * w0)
         pole = _NOTCH_POLE_RADIUS * zero
-        return sp_signal.lfilter([1.0, -zero], [1.0, -pole],
-                                 samples.astype(complex), axis=-1)
+        return self.backend.lfilter([1.0, -zero], [1.0, -pole],
+                                    samples.astype(complex))
 
     def _reference_templates(self, channel: MultipathChannel | None
                              ) -> tuple[np.ndarray, ...]:
-        """ADC-rate matched-filter references (per PPM position if any)."""
+        """ADC-rate matched-filter references (per PPM position if any).
+
+        Built on the host (template-length convolutions) and returned as
+        host arrays; :meth:`simulate` mirrors them onto the device.
+        """
         if self.position_templates is not None:
             sim_templates = self.position_templates
         else:
@@ -224,17 +260,18 @@ class BatchedLinkModel:
             references.append(template[::self.decimation])
         return tuple(references)
 
-    def _correlate(self, samples: np.ndarray, reference: np.ndarray,
-                   num_symbols: int) -> np.ndarray:
+    def _correlate(self, samples, reference, num_symbols: int):
         """Matched-filter statistic of every symbol of every packet."""
-        length = reference.size
+        xp = self.backend.xp
+        length = int(reference.shape[-1])
         positions = np.arange(num_symbols) * self.samples_per_symbol_adc
         needed = int(positions[-1]) + length
         if samples.shape[-1] < needed:
             pad = needed - samples.shape[-1]
-            samples = np.pad(samples, [(0, 0)] * (samples.ndim - 1) + [(0, pad)])
-        windows = sliding_window_view(samples, length, axis=-1)[:, positions, :]
-        return np.einsum("psl,l->ps", windows, np.conj(reference))
+            samples = xp.pad(samples,
+                             [(0, 0)] * (samples.ndim - 1) + [(0, pad)])
+        windows = self.backend.symbol_windows(samples, positions, length)
+        return xp.einsum("psl,l->ps", windows, xp.conj(reference))
 
     # ------------------------------------------------------------------
     # Full grid point
@@ -249,30 +286,36 @@ class BatchedLinkModel:
         ``channel`` is one impulse-response realization applied to the whole
         batch; ``interferer`` is any generator from
         :mod:`repro.channel.interference` (added once, broadcast to every
-        packet).  ``ebn0_db=None`` disables noise.
+        packet).  ``ebn0_db=None`` disables noise.  ``rng`` seeds the host
+        stream; non-NumPy backends derive their device streams from it.
         """
         require_int(num_packets, "num_packets", minimum=1)
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
+        backend = self.backend
+        xp = backend.xp
         if rng is None:
             rng = np.random.default_rng()
+        draws = backend.random_source(rng)
 
-        bits = rng.integers(0, 2, size=(num_packets, payload_bits_per_packet),
-                            dtype=np.int64)
-        symbols = self.modulate(bits)
+        bits = draws.integers(0, 2, size=(num_packets,
+                                          payload_bits_per_packet),
+                              dtype=np.int64)
+        bits_host = np.asarray(backend.to_numpy(bits), dtype=np.int64)
+        symbols = self.modulate(bits_host)
         clean = self.synthesize(symbols)
 
         # Per-packet transmitted energy per bit, same convention as
         # TransmitOutput.energy_per_body_bit (sim-rate sum of squares).
-        energy = np.sum(np.abs(clean) ** 2, axis=-1) / payload_bits_per_packet
+        energy = xp.sum(xp.abs(clean) ** 2, axis=-1) / payload_bits_per_packet
         positive = energy > 0
-        if not np.any(positive):
+        if not bool(xp.any(positive)):
             raise ValueError("batch transmitted zero energy; cannot set Eb/N0")
-        energy = np.where(positive, energy, energy[positive].mean())
+        energy = xp.where(positive, energy, energy[positive].mean())
 
         if channel is not None:
             waveform = channel.apply_batch(clean, self.sim_rate_hz,
-                                           keep_length=False)
+                                           keep_length=False, backend=backend)
         else:
             waveform = clean
 
@@ -283,31 +326,34 @@ class BatchedLinkModel:
         if self.notch_frequency_hz is not None and interferer is not None:
             pad_adc = int(np.ceil(6.0 / (1.0 - _NOTCH_POLE_RADIUS)))
         if pad_adc:
-            pad = np.zeros((num_packets, pad_adc * self.decimation),
+            pad = xp.zeros((num_packets, pad_adc * self.decimation),
                            dtype=waveform.dtype)
-            waveform = np.concatenate((pad, waveform), axis=-1)
+            waveform = xp.concatenate((pad, waveform), axis=-1)
 
         if interferer is not None:
-            waveform = waveform + self._interferer_waveform(
-                interferer, waveform.shape[-1], np.iscomplexobj(waveform), rng)
+            waveform = waveform + backend.asarray(self._interferer_waveform(
+                interferer, int(waveform.shape[-1]),
+                bool(xp.iscomplexobj(waveform)), rng))
         if ebn0_db is not None:
-            noise_std = noise_std_for_ebn0(energy, float(ebn0_db))
-            waveform = awgn(waveform, np.asarray(noise_std)[:, np.newaxis],
-                            rng=rng)
+            noise_std = noise_std_for_ebn0(energy, float(ebn0_db),
+                                           backend=backend)
+            waveform = awgn(waveform, noise_std[..., None], rng=draws,
+                            backend=backend)
 
         samples = waveform[..., ::self.decimation]
-        gains = np.ones(num_packets)
+        gains = xp.ones(num_packets)
         if self.quantize:
             gains = self._agc_gains(samples)
-            quantizer = UniformQuantizer(bits=self.config.adc_bits,
-                                         full_scale=_AGC_FULL_SCALE)
-            samples = quantizer.quantize(samples * gains[:, np.newaxis])
+            samples = backend.quantize_uniform(samples * gains[:, None],
+                                               bits=self.config.adc_bits,
+                                               full_scale=_AGC_FULL_SCALE)
         if self.notch_frequency_hz is not None:
             samples = self._apply_notch(samples)
         if pad_adc:
             samples = samples[..., pad_adc:]
 
-        references = self._reference_templates(channel)
+        references = tuple(backend.asarray(reference) for reference
+                           in self._reference_templates(channel))
         num_symbols = symbols.shape[1]
         statistics = [self._correlate(samples, reference, num_symbols)
                       for reference in references]
@@ -315,20 +361,20 @@ class BatchedLinkModel:
         if self.position_templates is not None:
             # Binary PPM: the modulator expects late-minus-early statistics.
             early, late = statistics[0], statistics[1]
-            norm = gains[:, np.newaxis] * np.sum(np.abs(references[0]) ** 2)
-            decision = np.real(late - early) / np.maximum(norm, 1e-300)
+            norm = gains[:, None] * xp.sum(xp.abs(references[0]) ** 2)
+            decision = xp.real(late - early) / xp.maximum(norm, 1e-300)
         else:
-            norm = gains[:, np.newaxis] * np.sum(np.abs(references[0]) ** 2)
-            decision = np.real(statistics[0]) / np.maximum(norm, 1e-300)
+            norm = gains[:, None] * xp.sum(xp.abs(references[0]) ** 2)
+            decision = xp.real(statistics[0]) / xp.maximum(norm, 1e-300)
 
-        received = self.modulator.demodulate(decision.ravel()).reshape(
-            bits.shape)
-        errors_per_packet = np.sum(received != bits, axis=-1)
+        received = self.modulator.demodulate(
+            backend.to_numpy(decision).ravel()).reshape(bits_host.shape)
+        errors_per_packet = np.sum(received != bits_host, axis=-1)
         packets_failed = int(np.count_nonzero(errors_per_packet))
         return BatchResult(
             ebn0_db=float(ebn0_db) if ebn0_db is not None else float("inf"),
             bit_errors=int(errors_per_packet.sum()),
-            total_bits=int(bits.size),
+            total_bits=int(bits_host.size),
             packets_sent=num_packets,
             packets_failed=packets_failed,
             errors_per_packet=errors_per_packet)
@@ -336,6 +382,7 @@ class BatchedLinkModel:
     def _interferer_waveform(self, interferer, num_samples: int,
                              complex_baseband: bool,
                              rng: np.random.Generator) -> np.ndarray:
+        """One host-side interferer realization (generators are NumPy code)."""
         if accepts_rng(interferer, "waveform"):
             return interferer.waveform(num_samples, self.sim_rate_hz, rng=rng,
                                        complex_baseband=complex_baseband)

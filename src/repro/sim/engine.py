@@ -13,10 +13,19 @@ the grid is ordered, chunked, or spread across worker processes.  The flip
 side: duplicated points in one grid share a stream and return identical
 measurements — use different seeds (or engines) to replicate a point.
 
+Array backends: the batch kernel's array operations run on a pluggable
+:class:`repro.sim.backends.ArrayBackend` — NumPy (reference,
+bit-identical to the historical code), CuPy, or JAX — selected with
+``array_backend=`` or the ``REPRO_ARRAY_BACKEND`` environment variable.
+
 Parallelism: pass ``max_workers`` to fan grid points out over a
-``concurrent.futures.ProcessPoolExecutor``.  Scenarios shipped to workers
-must be picklable — every built-in scenario is; custom scenarios should use
-module-level factory functions rather than lambdas.
+``concurrent.futures.ProcessPoolExecutor``.  Results return through
+``multiprocessing.shared_memory`` blocks (:mod:`repro.sim.shm`) — one
+block per worker chunk, written in place instead of pickled back — and
+are bit-identical to a serial run; ``shared_memory=False`` falls back to
+the pickling pool.  Scenarios shipped to workers must be picklable —
+every built-in scenario is; custom scenarios should use module-level
+factory functions rather than lambdas.
 """
 
 from __future__ import annotations
@@ -33,8 +42,10 @@ import numpy as np
 
 from repro.core.config import Gen1Config, Gen2Config
 from repro.core.metrics import BERCurve, BERPoint
+from repro.sim.backends import ArrayBackend, get_backend
 from repro.sim.batch import BatchedLinkModel
 from repro.sim.scenarios import SCENARIOS, Scenario, ScenarioRegistry
+from repro.sim.shm import ChunkResultBlock, chunk_slices
 from repro.utils.validation import require_int
 
 __all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
@@ -90,9 +101,20 @@ def sweep_grid(ebn0_values_db, scenarios=("awgn",), modulations=("bpsk",),
 
 @dataclass
 class SweepResult:
-    """All measured points of one sweep, grouped into curves on demand."""
+    """All measured points of one sweep, grouped into curves on demand.
+
+    Attributes
+    ----------
+    entries:
+        ``(point, measurement)`` pairs in grid order.
+    errors_per_packet:
+        Only populated when the sweep ran with
+        ``collect_errors_per_packet=True``: maps each grid point to its
+        per-packet bit-error counts (a tuple of ints, one per packet).
+    """
 
     entries: list[tuple[SweepPoint, BERPoint]] = field(default_factory=list)
+    errors_per_packet: dict = field(default_factory=dict)
 
     def curve(self, scenario: str = "awgn", modulation: str = "bpsk",
               adc_bits: int | None = None,
@@ -148,6 +170,7 @@ class _PointTask:
     payload_bits_per_packet: int
     seed_entropy: object
     spawn_key: tuple
+    array_backend: str = "numpy"
 
 
 def _point_digest_text(point: SweepPoint) -> str:
@@ -176,6 +199,7 @@ def _point_spawn_key(point: SweepPoint,
 
 
 def _resolve_config(task: _PointTask):
+    """The effective transceiver configuration for one task."""
     config = task.config
     if config is None:
         config = (Gen1Config.fast_test_config()
@@ -186,8 +210,9 @@ def _resolve_config(task: _PointTask):
     return config
 
 
-def _run_point(task: _PointTask) -> BERPoint:
-    """Measure one grid point (runs in the caller or a worker process)."""
+def _run_point_record(task: _PointTask) -> tuple[BERPoint, np.ndarray]:
+    """Measure one grid point, returning the measurement *and* the
+    per-packet bit-error counts (runs in the caller or a worker process)."""
     root = np.random.SeedSequence(entropy=task.seed_entropy,
                                   spawn_key=task.spawn_key)
     scenario_seed, noise_seed, hardware_seed = root.spawn(3)
@@ -203,13 +228,15 @@ def _run_point(task: _PointTask) -> BERPoint:
                  if getattr(config, "enable_digital_notch", False) else None)
         model = BatchedLinkModel(config, modulation=point.modulation,
                                  quantize=task.quantize,
-                                 notch_frequency_hz=notch)
+                                 notch_frequency_hz=notch,
+                                 backend=get_backend(task.array_backend))
         result = model.simulate(
             point.ebn0_db, task.num_packets, task.payload_bits_per_packet,
             rng=noise_rng,
             channel=scenario.make_channel(scenario_rng),
             interferer=scenario.make_interferer(scenario_rng))
-        return result.to_ber_point()
+        errors = np.asarray(result.errors_per_packet, dtype=np.int64)
+        return result.to_ber_point(), errors
 
     # backend == "packet": the legacy full-stack flow, one packet at a time.
     if point.modulation != "bpsk":
@@ -224,20 +251,96 @@ def _run_point(task: _PointTask) -> BERPoint:
     bit_errors = 0
     total_bits = 0
     packets_failed = 0
-    for _ in range(task.num_packets):
+    errors_per_packet = np.zeros(task.num_packets, dtype=np.int64)
+    for index in range(task.num_packets):
         simulation = transceiver.simulate_packet(
             num_payload_bits=task.payload_bits_per_packet,
             ebn0_db=point.ebn0_db,
             channel=scenario.make_channel(scenario_rng),
             interferer=scenario.make_interferer(scenario_rng),
             rng=noise_rng)
+        errors_per_packet[index] = simulation.result.payload_bit_errors
         bit_errors += simulation.result.payload_bit_errors
         total_bits += simulation.result.num_payload_bits
         if not simulation.result.packet_success:
             packets_failed += 1
-    return BERPoint(ebn0_db=point.ebn0_db, bit_errors=bit_errors,
-                    total_bits=total_bits, packets_sent=task.num_packets,
-                    packets_failed=packets_failed)
+    measurement = BERPoint(ebn0_db=point.ebn0_db, bit_errors=bit_errors,
+                           total_bits=total_bits,
+                           packets_sent=task.num_packets,
+                           packets_failed=packets_failed)
+    return measurement, errors_per_packet
+
+
+def _run_point(task: _PointTask) -> BERPoint:
+    """Measure one grid point (the scalar-result variant of
+    :func:`_run_point_record`, used by the pickling transport)."""
+    return _run_point_record(task)[0]
+
+
+def _simulate_chunk_into_block(block_name: str, num_slots: int,
+                               max_packets: int, tasks: tuple) -> int:
+    """Worker body for the shared-memory transport: attach to the chunk's
+    block once, measure every task, write each record in place.
+
+    A block sized with ``max_packets=0`` carries scalar records only —
+    the per-packet error vectors are dropped instead of written, so
+    callers that discard them never pay ``/dev/shm`` for them.
+    """
+    block = ChunkResultBlock.attach(block_name, num_slots, max_packets)
+    try:
+        for slot, task in enumerate(tasks):
+            measurement, errors = _run_point_record(task)
+            block.write_result(slot, measurement,
+                               errors if max_packets > 0 else None)
+    finally:
+        block.close()
+    return num_slots
+
+
+def _run_tasks_shared(tasks, max_packets: int,
+                      max_workers: int) -> tuple[list, BaseException | None]:
+    """Fan tasks over a process pool, returning results through
+    shared-memory blocks (one per worker chunk) instead of pickles.
+
+    Returns ``(records, failure)``: ``records`` holds one
+    ``(measurement, errors_per_packet)`` pair per task, in task order
+    (error vectors are empty when ``max_packets`` is 0 — size blocks for
+    them only when the caller keeps them), and ``failure`` is the first
+    worker exception or ``None``.  When a worker chunk fails, its tasks'
+    records are ``None`` but every *completed* chunk is still harvested,
+    so the caller can salvage finished measurements before re-raising.
+    Blocks are torn down deterministically in a ``finally`` whatever the
+    workers did.
+    """
+    chunks = chunk_slices(len(tasks), max_workers)
+    blocks = [ChunkResultBlock.allocate(len(chunk), max_packets)
+              for chunk in chunks]
+    records: list = [None] * len(tasks)
+    failure: BaseException | None = None
+    try:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(_simulate_chunk_into_block, block.name,
+                            len(chunk), max_packets,
+                            tuple(tasks[index] for index in chunk))
+                for chunk, block in zip(chunks, blocks)]
+            for future, chunk, block in zip(futures, chunks, blocks):
+                try:
+                    future.result()
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    if failure is None:
+                        failure = error
+                    continue
+                for slot, index in enumerate(chunk):
+                    records[index] = block.read_result(slot)
+    finally:
+        for block in blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+    return records, failure
 
 
 class SweepEngine:
@@ -265,13 +368,29 @@ class SweepEngine:
         Batch backend only: model AGC + ADC quantization (default on).
     max_workers:
         When set (> 1), grid points are distributed over that many worker
-        processes.
+        processes (overridable per call via :meth:`run`).
+    array_backend:
+        Array backend the batch kernel runs on: ``None`` (the
+        ``REPRO_ARRAY_BACKEND`` environment variable, defaulting to the
+        bit-identical NumPy reference), a registered name (``"numpy"``,
+        ``"cupy"``, ``"jax"``), or an
+        :class:`~repro.sim.backends.ArrayBackend` instance (cached by
+        name so forked workers resolve to the same object).  Explicit
+        names raise when the library is missing; the environment variable
+        falls back to NumPy with a warning.
+    shared_memory:
+        Process fan-out transport: ``True`` (default) returns worker
+        results through :mod:`repro.sim.shm` blocks; ``False`` pickles
+        them through the executor (the slower historical path, kept for
+        comparison and as an escape hatch).
     """
 
     def __init__(self, config=None, generation: str = "gen2",
                  registry: ScenarioRegistry | None = None, seed: int = 0,
                  backend: str = "batch", quantize: bool = True,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 array_backend: str | ArrayBackend | None = None,
+                 shared_memory: bool = True) -> None:
         if generation not in ("gen1", "gen2"):
             raise ValueError("generation must be 'gen1' or 'gen2'")
         if backend not in ("batch", "packet"):
@@ -285,6 +404,8 @@ class SweepEngine:
         self.backend = backend
         self.quantize = bool(quantize)
         self.max_workers = max_workers
+        self.array_backend = get_backend(array_backend).name
+        self.shared_memory = bool(shared_memory)
 
     # ------------------------------------------------------------------
     # Identity hooks (used by the repro.runs result store)
@@ -303,25 +424,32 @@ class SweepEngine:
     def config_digest(self) -> str:
         """A stable hex digest of everything engine-level that shapes results.
 
-        Covers the seed, generation, backend, quantization choice and the
+        Covers the seed, generation, backend, quantization choice, the
         full base configuration (field by field, ``None`` meaning the
-        generation's ``fast_test_config``).  Two engines with equal digests
-        produce bit-identical measurements for the same point and packet
-        budget, so the digest scopes cache entries in :mod:`repro.runs`.
+        generation's ``fast_test_config``) and — for non-NumPy array
+        backends, whose random streams are device-native — the array
+        backend name.  The NumPy reference deliberately digests
+        identically to pre-backend-abstraction engines, so existing
+        :mod:`repro.runs` caches stay valid.  Two engines with equal
+        digests produce bit-identical measurements for the same point and
+        packet budget.
         """
         if self.config is None:
             config_description = ["default", self.generation]
         else:
             config_description = [type(self.config).__name__,
                                   repr(self.config)]
-        payload = json.dumps({
+        payload = {
             "seed": self.seed,
             "generation": self.generation,
             "backend": self.backend,
             "quantize": self.quantize,
             "config": config_description,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        }
+        if self.array_backend != "numpy":
+            payload["array_backend"] = self.array_backend
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Grid execution
@@ -329,6 +457,7 @@ class SweepEngine:
     def _task_for(self, point: SweepPoint, num_packets: int,
                   payload_bits_per_packet: int,
                   packet_offset: int = 0) -> _PointTask:
+        """Bundle one grid point into a self-contained worker task."""
         scenario = self.registry.get(point.scenario)
         return _PointTask(
             point=point,
@@ -340,7 +469,8 @@ class SweepEngine:
             num_packets=num_packets,
             payload_bits_per_packet=payload_bits_per_packet,
             seed_entropy=self.seed,
-            spawn_key=_point_spawn_key(point, packet_offset))
+            spawn_key=_point_spawn_key(point, packet_offset),
+            array_backend=self.array_backend)
 
     def measure_point(self, point: SweepPoint, num_packets: int = 32,
                       payload_bits_per_packet: int = 64,
@@ -360,20 +490,80 @@ class SweepEngine:
                                          payload_bits_per_packet,
                                          packet_offset))
 
+    def measure_points(self, jobs, payload_bits_per_packet: int = 64,
+                       max_workers: int | None = None) -> list[BERPoint]:
+        """Measure a batch of ``(point, num_packets, packet_offset)`` jobs.
+
+        The bulk form of :meth:`measure_point` — each job is measured
+        exactly as its :meth:`measure_point` call would be (bit-identical
+        results), but the batch can fan out over ``max_workers`` worker
+        processes with shared-memory result transport.  This is the entry
+        point :class:`repro.runs.RunDriver` uses to simulate a shard's
+        cache misses.
+        """
+        jobs = list(jobs)
+        require_int(payload_bits_per_packet, "payload_bits_per_packet",
+                    minimum=1)
+        if max_workers is not None:
+            require_int(max_workers, "max_workers", minimum=1)
+        for point, num_packets, packet_offset in jobs:
+            # Validate before coercing, exactly as measure_point would.
+            require_int(num_packets, "num_packets", minimum=1)
+            require_int(packet_offset, "packet_offset", minimum=0)
+        tasks = [self._task_for(point, int(num_packets),
+                                payload_bits_per_packet, int(packet_offset))
+                 for point, num_packets, packet_offset in jobs]
+        if max_workers is not None and max_workers > 1 and len(tasks) > 1:
+            if self.shared_memory:
+                # Scalar results only — no per-packet error region.
+                records, failure = _run_tasks_shared(tasks, 0, max_workers)
+                if failure is not None:
+                    raise failure
+            else:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    return list(pool.map(_run_point, tasks))
+            return [measurement for measurement, _ in records]
+        return [_run_point(task) for task in tasks]
+
     def run(self, points, num_packets: int = 32,
             payload_bits_per_packet: int = 64,
-            on_result=None) -> SweepResult:
+            on_result=None, max_workers: int | None = None,
+            collect_errors_per_packet: bool = False) -> SweepResult:
         """Measure every grid point and return the collected results.
 
-        ``on_result`` (optional) is called as ``on_result(point,
-        measurement)`` for every grid point, in grid order, as results
-        become available — the hook result stores use to persist points
-        incrementally instead of waiting for the whole grid.
+        Parameters
+        ----------
+        points:
+            Grid points (e.g. from :func:`sweep_grid`).
+        num_packets, payload_bits_per_packet:
+            Monte-Carlo budget per grid point.
+        on_result:
+            Optional hook called as ``on_result(point, measurement)`` for
+            every grid point, in grid order — what result stores use to
+            persist points without waiting on the caller.  Serial and
+            pickling-pool runs deliver each point as it completes; the
+            shared-memory transport delivers after its worker chunks
+            finish, and on a worker failure still delivers every
+            completed point before the exception propagates.
+        max_workers:
+            Overrides the engine-level ``max_workers`` for this call; when
+            the effective value exceeds 1, points fan out over worker
+            processes with shared-memory result transport (see
+            ``shared_memory``).
+        collect_errors_per_packet:
+            Also record each point's per-packet bit-error counts in
+            ``SweepResult.errors_per_packet`` (transported through shared
+            memory on the parallel path, so a million-packet point's
+            error vector never crosses a pickle).
         """
         points = tuple(points)
         require_int(num_packets, "num_packets", minimum=1)
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
+        effective_workers = (self.max_workers if max_workers is None
+                             else max_workers)
+        if effective_workers is not None:
+            require_int(effective_workers, "max_workers", minimum=1)
         duplicates = [point for point, count in Counter(points).items()
                       if count > 1]
         if duplicates:
@@ -385,22 +575,46 @@ class SweepEngine:
                 stacklevel=2)
         tasks = [self._task_for(point, num_packets, payload_bits_per_packet)
                  for point in points]
-        entries: list[tuple[SweepPoint, BERPoint]] = []
-        if self.max_workers is not None and self.max_workers > 1 \
+        result = SweepResult()
+
+        def record(point, measurement, errors) -> None:
+            if on_result is not None:
+                on_result(point, measurement)
+            result.entries.append((point, measurement))
+            if collect_errors_per_packet and errors is not None:
+                result.errors_per_packet[point] = tuple(
+                    int(count) for count in errors)
+
+        if effective_workers is not None and effective_workers > 1 \
                 and len(tasks) > 1:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                for point, measurement in zip(points,
-                                              pool.map(_run_point, tasks)):
-                    if on_result is not None:
-                        on_result(point, measurement)
-                    entries.append((point, measurement))
+            if self.shared_memory:
+                error_region = (num_packets if collect_errors_per_packet
+                                else 0)
+                records, failure = _run_tasks_shared(tasks, error_region,
+                                                     effective_workers)
+                for point, chunk_record in zip(points, records):
+                    if chunk_record is not None:
+                        record(point, *chunk_record)
+                if failure is not None:
+                    raise failure
+            elif collect_errors_per_packet:
+                with ProcessPoolExecutor(
+                        max_workers=effective_workers) as pool:
+                    for point, (measurement, errors) in zip(
+                            points, pool.map(_run_point_record, tasks)):
+                        record(point, measurement, errors)
+            else:
+                with ProcessPoolExecutor(
+                        max_workers=effective_workers) as pool:
+                    for point, measurement in zip(points,
+                                                  pool.map(_run_point,
+                                                           tasks)):
+                        record(point, measurement, None)
         else:
             for point, task in zip(points, tasks):
-                measurement = _run_point(task)
-                if on_result is not None:
-                    on_result(point, measurement)
-                entries.append((point, measurement))
-        return SweepResult(entries=entries)
+                measurement, errors = _run_point_record(task)
+                record(point, measurement, errors)
+        return result
 
     def ber_curve(self, ebn0_values_db, scenario: str = "awgn",
                   modulation: str = "bpsk", adc_bits: int | None = None,

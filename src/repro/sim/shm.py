@@ -1,0 +1,205 @@
+"""Shared-memory result transport for process-pool sweeps.
+
+The historical process-pool fan-out returned every grid point's
+measurement by pickling it through the executor's result pipe.  That is
+fine for five scalar counts — and hopeless once a result carries its
+per-packet error vector (a million-packet point is an 8 MB array *per
+point*).  This module gives the sweep engine a zero-copy return path:
+
+* the parent allocates one :class:`ChunkResultBlock` per worker chunk —
+  a single ``multiprocessing.shared_memory`` segment sized for the
+  chunk's result records plus their per-packet error vectors;
+* each worker attaches to its chunk's block once, writes one record
+  view per grid point as it finishes, and detaches;
+* the parent reads every record back through array views and then tears
+  the segment down deterministically (``close`` + ``unlink`` in a
+  ``finally``), so no segments outlive the sweep even on error paths.
+
+Records are fixed-width ``int64`` rows — ``[ebn0 bit-pattern,
+bit_errors, total_bits, packets_sent, packets_failed, errors_len,
+errors...]`` — so a block is pure flat memory: no pickling, no
+serialization, bit-identical round trips.  Used by
+:meth:`repro.sim.SweepEngine.run` and :class:`repro.runs.RunDriver`
+whenever ``max_workers`` fans simulation out over processes; disable
+with ``SweepEngine(shared_memory=False)`` to fall back to the pickling
+pool (the comparison ``benchmarks/test_bench_backends.py`` measures).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.metrics import BERPoint
+from repro.utils.validation import require_int
+
+__all__ = ["RECORD_WORDS", "ChunkResultBlock", "chunk_slices"]
+
+#: int64 words of fixed header per result slot (before the error vector):
+#: ebn0 bit-pattern, bit_errors, total_bits, packets_sent, packets_failed,
+#: errors_len.
+RECORD_WORDS = 6
+
+_WORD_BYTES = 8
+
+
+def _float_to_word(value: float) -> int:
+    """The IEEE-754 bit pattern of ``value`` as an ``int64`` (lossless)."""
+    return int(np.asarray(float(value), dtype=np.float64).view(np.int64))
+
+
+def _word_to_float(word: int) -> float:
+    """Inverse of :func:`_float_to_word`."""
+    return float(np.asarray(int(word), dtype=np.int64).view(np.float64))
+
+
+def chunk_slices(num_items: int, num_chunks: int) -> tuple[tuple[int, ...], ...]:
+    """Round-robin assignment of ``num_items`` work indices to chunks.
+
+    Chunk ``c`` owns indices ``c, c + num_chunks, c + 2 num_chunks, ...``
+    — the same interleaving :meth:`repro.runs.RunManifest.points_for_shard`
+    uses, so consecutive Eb/N0 points of one curve (cheap high-SNR next to
+    expensive low-SNR) spread evenly over workers.  Empty chunks are
+    dropped.
+    """
+    require_int(num_items, "num_items", minimum=1)
+    require_int(num_chunks, "num_chunks", minimum=1)
+    chunks = tuple(tuple(range(start, num_items, num_chunks))
+                   for start in range(min(num_chunks, num_items)))
+    return tuple(chunk for chunk in chunks if chunk)
+
+
+class ChunkResultBlock:
+    """A shared-memory segment holding one worker chunk's result records.
+
+    One block carries ``num_slots`` fixed-width rows of ``RECORD_WORDS +
+    max_packets`` ``int64`` words.  The parent :meth:`allocate`\\ s it and
+    is the only party that may :meth:`unlink`; workers :meth:`attach` by
+    name, :meth:`write_result` into their slots, and :meth:`close`.
+    Usable as a context manager (owner context unlinks on exit).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, num_slots: int,
+                 max_packets: int, owner: bool) -> None:
+        self._shm = shm
+        self.num_slots = num_slots
+        self.max_packets = max_packets
+        self._owner = owner
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def allocate(cls, num_slots: int, max_packets: int) -> "ChunkResultBlock":
+        """Create a block sized for ``num_slots`` results of up to
+        ``max_packets`` packets each (parent side; owns the segment)."""
+        require_int(num_slots, "num_slots", minimum=1)
+        require_int(max_packets, "max_packets", minimum=0)
+        size = num_slots * (RECORD_WORDS + max_packets) * _WORD_BYTES
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return cls(shm, num_slots, max_packets, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, num_slots: int,
+               max_packets: int) -> "ChunkResultBlock":
+        """Map an existing block by name (worker side; never unlinks)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, num_slots, max_packets, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach with."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; data stays shared)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after every reader closed)."""
+        if not self._owner:
+            raise RuntimeError("only the allocating process may unlink a "
+                               "ChunkResultBlock")
+        self._shm.unlink()
+
+    def __enter__(self) -> "ChunkResultBlock":
+        """Context-manager entry: the block itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministic teardown: close, and unlink when owner."""
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    # -- record access --------------------------------------------------
+    def _rows(self) -> np.ndarray:
+        """A transient ``(num_slots, RECORD_WORDS + max_packets)`` view.
+
+        Views are created per call and must not be retained by callers —
+        a live view keeps the mapping referenced and would turn
+        :meth:`close` into a ``BufferError``.
+        """
+        if self._closed:
+            raise ValueError("block is closed")
+        count = self.num_slots * (RECORD_WORDS + self.max_packets)
+        return np.frombuffer(self._shm.buf, dtype=np.int64,
+                             count=count).reshape(
+                                 self.num_slots,
+                                 RECORD_WORDS + self.max_packets)
+
+    def write_result(self, slot: int, measurement: BERPoint,
+                     errors_per_packet=None) -> None:
+        """Serialize one measurement (and its per-packet error vector)
+        into ``slot``'s record row."""
+        require_int(slot, "slot", minimum=0)
+        if slot >= self.num_slots:
+            raise ValueError(f"slot {slot} out of range for "
+                             f"{self.num_slots} slot(s)")
+        if errors_per_packet is None:
+            errors = np.zeros(0, dtype=np.int64)
+        else:
+            errors = np.asarray(errors_per_packet, dtype=np.int64).ravel()
+        if errors.size > self.max_packets:
+            raise ValueError(
+                f"errors_per_packet has {errors.size} entries but the "
+                f"block was sized for {self.max_packets} packet(s)")
+        rows = self._rows()
+        rows[slot, 0] = _float_to_word(measurement.ebn0_db)
+        rows[slot, 1] = int(measurement.bit_errors)
+        rows[slot, 2] = int(measurement.total_bits)
+        rows[slot, 3] = int(measurement.packets_sent)
+        rows[slot, 4] = int(measurement.packets_failed)
+        rows[slot, 5] = errors.size
+        rows[slot, RECORD_WORDS:RECORD_WORDS + errors.size] = errors
+        del rows
+
+    def read_result(self, slot: int) -> tuple[BERPoint, np.ndarray]:
+        """Deserialize ``slot``'s record: ``(measurement, errors_per_packet)``.
+
+        The error vector is a copy, safe to keep after the block is torn
+        down; it is empty when the writer recorded no per-packet detail.
+        """
+        require_int(slot, "slot", minimum=0)
+        if slot >= self.num_slots:
+            raise ValueError(f"slot {slot} out of range for "
+                             f"{self.num_slots} slot(s)")
+        rows = self._rows()
+        header = rows[slot, :RECORD_WORDS]
+        measurement = BERPoint(
+            ebn0_db=_word_to_float(header[0]),
+            bit_errors=int(header[1]),
+            total_bits=int(header[2]),
+            packets_sent=int(header[3]),
+            packets_failed=int(header[4]))
+        errors_len = int(header[5])
+        if errors_len > self.max_packets:
+            raise ValueError(f"corrupt record in slot {slot}: errors_len "
+                             f"{errors_len} exceeds {self.max_packets}")
+        errors = np.array(rows[slot, RECORD_WORDS:RECORD_WORDS + errors_len],
+                          dtype=np.int64)
+        del rows
+        return measurement, errors

@@ -1,0 +1,298 @@
+"""Tests for the pluggable array-backend layer (repro.sim.backends)."""
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.adc.quantizer import UniformQuantizer
+from repro.sim import (
+    ArrayBackend,
+    BatchedLinkModel,
+    CupyBackend,
+    JaxBackend,
+    NumpyBackend,
+    SweepEngine,
+    available_backends,
+    get_backend,
+    register_backend,
+    sweep_grid,
+)
+from repro.sim.backends import BACKEND_ENV_VAR, _INSTANCES, _REGISTRY
+
+
+class GenericNumpyBackend(ArrayBackend):
+    """NumPy with every *generic* base-class helper (the code paths CuPy
+    and JAX inherit): FFT-based convolution instead of scipy, gather-based
+    symbol windows instead of strided views, the xp quantizer mirror.
+    Registered by the ``mirror_backend`` fixture as an accelerator
+    stand-in that needs no accelerator."""
+
+    name = "mirror"
+    xp = np
+
+    @classmethod
+    def is_available(cls):
+        return True
+
+    def random_source(self, rng):
+        return rng if rng is not None else np.random.default_rng()
+
+
+@pytest.fixture
+def mirror_backend():
+    """Temporarily register the generic-path stand-in backend."""
+    register_backend(GenericNumpyBackend)
+    try:
+        yield GenericNumpyBackend.name
+    finally:
+        _REGISTRY.pop(GenericNumpyBackend.name, None)
+        _INSTANCES.pop(GenericNumpyBackend.name, None)
+
+
+class TestResolution:
+    def test_numpy_always_available_and_default(self):
+        assert available_backends()[0] == "numpy"
+        assert get_backend(None).name == "numpy"
+        assert get_backend("numpy") is get_backend("NumPy")  # cached, cased
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend("tensorflow")
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("tensorflow")
+
+    def test_bad_spec_type_raises(self):
+        with pytest.raises(TypeError, match="backend must be"):
+            get_backend(42)
+
+    def test_missing_accelerator_strict_raises_lenient_falls_back(self):
+        for name, cls in (("cupy", CupyBackend), ("jax", JaxBackend)):
+            if cls.is_available():
+                continue
+            with pytest.raises(ImportError, match=name):
+                get_backend(name)
+            with pytest.warns(UserWarning, match="falling back"):
+                assert get_backend(name, strict=False).name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend(None).name == "numpy"
+
+    def test_env_var_unknown_name_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "quantum")
+        with pytest.warns(UserWarning, match="names no registered"):
+            assert get_backend(None).name == "numpy"
+
+    def test_env_var_unavailable_backend_warns_not_raises(self, monkeypatch):
+        if CupyBackend.is_available():
+            pytest.skip("cupy present; fallback path not reachable")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cupy")
+        with pytest.warns(UserWarning, match="falling back"):
+            assert get_backend(None).name == "numpy"
+
+    def test_register_backend_rules(self, mirror_backend):
+        assert get_backend(mirror_backend).name == "mirror"
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(GenericNumpyBackend)
+        register_backend(GenericNumpyBackend, overwrite=True)
+        with pytest.raises(TypeError):
+            register_backend(object)
+
+
+class TestBackendHelpers:
+    """The generic helper implementations must agree with the tuned
+    NumPy overrides — this is what keeps accelerator results honest."""
+
+    def setup_method(self):
+        self.reference = NumpyBackend()
+        self.generic = GenericNumpyBackend()
+
+    def test_fftconvolve_full_matches_scipy(self, rng):
+        for dtype in (float, complex):
+            signals = rng.standard_normal((4, 64)).astype(dtype)
+            if dtype is complex:
+                signals = signals + 1j * rng.standard_normal((4, 64))
+            kernel = rng.standard_normal(9).astype(dtype).reshape(1, 9)
+            expected = sp_signal.fftconvolve(signals, kernel, mode="full",
+                                             axes=-1)
+            np.testing.assert_allclose(
+                self.generic.fftconvolve_full(signals, kernel), expected,
+                atol=1e-12)
+            np.testing.assert_array_equal(
+                self.reference.fftconvolve_full(signals, kernel), expected)
+
+    def test_symbol_windows_gather_matches_strided_view(self, rng):
+        samples = rng.standard_normal((3, 50))
+        positions = np.array([0, 7, 21])
+        expected = self.reference.symbol_windows(samples, positions, 8)
+        np.testing.assert_array_equal(
+            self.generic.symbol_windows(samples, positions, 8), expected)
+        assert expected.shape == (3, 3, 8)
+
+    def test_quantize_uniform_matches_reference_quantizer(self, rng):
+        samples = rng.uniform(-1.5, 1.5, size=(2, 128))
+        quantizer = UniformQuantizer(bits=3, full_scale=1.0)
+        np.testing.assert_array_equal(
+            self.generic.quantize_uniform(samples, bits=3, full_scale=1.0),
+            quantizer.quantize(samples))
+        complex_samples = samples[0] + 1j * samples[1]
+        np.testing.assert_array_equal(
+            self.generic.quantize_uniform(complex_samples, bits=3,
+                                          full_scale=1.0),
+            quantizer.quantize(complex_samples))
+
+    def test_lfilter_generic_round_trip_matches_scipy(self, rng):
+        samples = rng.standard_normal((2, 40)).astype(complex)
+        b, a = [1.0, -0.9], [1.0, -0.5]
+        np.testing.assert_allclose(
+            self.generic.lfilter(b, a, samples),
+            sp_signal.lfilter(b, a, samples, axis=-1))
+
+    def test_numpy_random_source_is_the_generator_itself(self):
+        generator = np.random.default_rng(3)
+        assert self.reference.random_source(generator) is generator
+
+
+ACCELERATORS = [name for name in available_backends() if name != "numpy"]
+
+
+class TestBackendParity:
+    """NumPy vs accelerator agreement on measured BER.
+
+    Accelerator random streams are device-native, so parity is
+    statistical (binomial 3-sigma), not bit-exact.  The ``mirror``
+    stand-in runs the same generic code paths with NumPy's RNG and is
+    asserted exactly, so these tests bite even on CPU-only machines.
+    """
+
+    GRID_KWARGS = dict(scenarios=("awgn", "two_ray"),
+                       modulations=("bpsk", "ook"))
+
+    def _run(self, array_backend, quantize=True):
+        engine = SweepEngine(seed=21, quantize=quantize,
+                             array_backend=array_backend)
+        grid = sweep_grid([4.0, 8.0], **self.GRID_KWARGS)
+        return engine.run(grid, num_packets=40, payload_bits_per_packet=50)
+
+    def test_mirror_backend_generic_paths_match_reference(self,
+                                                          mirror_backend):
+        reference = self._run("numpy")
+        mirrored = self._run(mirror_backend)
+        for (point, expected), (_, got) in zip(reference.entries,
+                                               mirrored.entries):
+            # Same host RNG, same math to within FFT rounding: the
+            # decision statistics may differ by ~1e-15, the error counts
+            # must not.
+            assert got == expected, f"mirror backend diverged at {point}"
+
+    @pytest.mark.skipif(not ACCELERATORS,
+                        reason="no accelerator backend installed")
+    @pytest.mark.parametrize("name", ACCELERATORS)
+    def test_accelerator_ber_within_binomial_tolerance(self, name):
+        reference = self._run("numpy")
+        accelerated = self._run(name)
+        for (point, expected), (_, got) in zip(reference.entries,
+                                               accelerated.entries):
+            assert got.total_bits == expected.total_bits
+            pooled = (expected.bit_errors + got.bit_errors) / (
+                expected.total_bits + got.total_bits)
+            sigma = np.sqrt(max(pooled * (1.0 - pooled), 1e-9)
+                            / expected.total_bits)
+            tolerance = 4.0 * sigma + 2.0 / expected.total_bits
+            assert abs(got.ber - expected.ber) <= tolerance, (
+                f"{name} backend BER {got.ber} vs numpy {expected.ber} "
+                f"at {point}")
+
+    @pytest.mark.skipif(not ACCELERATORS,
+                        reason="no accelerator backend installed")
+    @pytest.mark.parametrize("name", ACCELERATORS)
+    def test_accelerator_kernel_tracks_theory_unquantized(self, name):
+        from repro.core.metrics import theoretical_bpsk_ber
+        engine = SweepEngine(seed=5, quantize=False, array_backend=name)
+        point = engine.ber_curve([4.0], num_packets=60,
+                                 payload_bits_per_packet=100).points[0]
+        theory = float(theoretical_bpsk_ber(4.0))
+        sigma = np.sqrt(theory * (1.0 - theory) / point.total_bits)
+        assert abs(point.ber - theory) <= 4.0 * sigma
+
+
+class TestEngineIntegration:
+    def test_engine_resolves_and_records_backend_name(self):
+        assert SweepEngine().array_backend == "numpy"
+        assert SweepEngine(array_backend=NumpyBackend()).array_backend \
+            == "numpy"
+
+    def test_engine_rejects_unknown_array_backend(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            SweepEngine(array_backend="metal")
+
+    def test_config_digest_stable_for_numpy_but_not_others(self,
+                                                           mirror_backend):
+        # The NumPy digest must not move with the backend abstraction —
+        # existing repro.runs caches stay valid.
+        reference = SweepEngine(seed=1).config_digest()
+        assert reference == SweepEngine(seed=1,
+                                        array_backend="numpy").config_digest()
+        assert reference != SweepEngine(
+            seed=1, array_backend=mirror_backend).config_digest()
+
+    def test_batch_model_accepts_backend_name_and_instance(self):
+        from repro.core.config import Gen2Config
+        config = Gen2Config.fast_test_config()
+        by_name = BatchedLinkModel(config, backend="numpy")
+        by_instance = BatchedLinkModel(config, backend=NumpyBackend())
+        assert by_name.backend.name == by_instance.backend.name == "numpy"
+
+    def test_transceiver_batch_model_forwards_backend(self):
+        from repro.core.config import Gen2Config
+        from repro.core.transceiver import Gen2Transceiver
+        transceiver = Gen2Transceiver(Gen2Config.fast_test_config())
+        model = transceiver.batch_model(array_backend="numpy")
+        assert model.backend.name == "numpy"
+
+    def test_env_var_engine_construction(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert SweepEngine().array_backend == "numpy"
+
+
+class UnregisteredBackend(GenericNumpyBackend):
+    """An ArrayBackend instance handed straight to the engine, never
+    registered — get_backend must cache it so workers resolve it by name."""
+
+    name = "unregistered-instance"
+
+
+class TestInstanceBackends:
+    @pytest.fixture
+    def instance_backend(self):
+        backend = UnregisteredBackend()
+        try:
+            yield backend
+        finally:
+            _INSTANCES.pop(backend.name, None)
+
+    def test_engine_accepts_unregistered_instance(self, instance_backend,
+                                                  small_sweep_grid):
+        engine = SweepEngine(seed=3, array_backend=instance_backend)
+        assert engine.array_backend == instance_backend.name
+        result = engine.run(small_sweep_grid, num_packets=4)
+        assert len(result.entries) == len(small_sweep_grid)
+
+    def test_instance_resolves_by_name_after_use(self, instance_backend):
+        assert get_backend(instance_backend) is instance_backend
+        assert get_backend(instance_backend.name) is instance_backend
+
+    def test_forked_workers_resolve_the_instance(self, instance_backend,
+                                                 small_sweep_grid):
+        engine = SweepEngine(seed=3, array_backend=instance_backend,
+                             max_workers=2)
+        parallel = engine.run(small_sweep_grid, num_packets=4)
+        serial = SweepEngine(seed=3,
+                             array_backend=instance_backend).run(
+            small_sweep_grid, num_packets=4)
+        assert parallel == serial
