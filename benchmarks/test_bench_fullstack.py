@@ -1,0 +1,111 @@
+"""BENCH-FULLSTACK — batched full-stack receiver vs the packet loop.
+
+ROADMAP "Batched full-stack receiver": the ``backend="packet"`` path runs
+the real receiver chain — coarse acquisition, channel estimation, RAKE
+combining, MLSE/Viterbi — one packet at a time in Python, which made the
+non-ideal-synchronization scenario class the most expensive thing in the
+repository.  ``backend="fullstack"`` (:mod:`repro.sim.batch_rx`) runs the
+*same* receiver over the whole Monte-Carlo batch, bit-decision-identical
+by construction (guarded by ``tests/sim/test_fullstack_parity.py``).
+
+This benchmark times both backends on one CM1 multipath sweep point at
+three receiver configurations — the plain fast-test config, the same with
+the gen-2 default MLSE demodulator enabled, and a paper-grade back end
+(MLSE over a 5-symbol ISI window, 16-finger selective RAKE on a 64-tap
+channel estimate, the gen-2 defaults that ``fast_test_config`` trims for
+unit-test speed).  The headline acceptance rides on the paper-grade row:
+the batched receiver must be at least 10x faster than the packet loop,
+with identical error counts.
+
+Timings are min-of-rounds on the batched side and single-shot on the
+oracle (the conservative direction: a load spike during the oracle run
+shrinks the asserted ratio's slack, never inflates the claim past what
+the table prints).
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import Gen2Config
+from repro.sim import SweepEngine, sweep_grid
+
+from bench_utils import format_ber, print_header, print_table
+
+EBN0_DB = 6.0
+SEED = 3
+REQUIRED_SPEEDUP = 10.0
+
+CONFIGS = (
+    ("fast-test", Gen2Config.fast_test_config(), 24, 128),
+    ("fast-test + MLSE",
+     Gen2Config.fast_test_config().with_changes(use_mlse=True), 24, 128),
+    ("paper-grade back end",
+     Gen2Config.fast_test_config().with_changes(
+         use_mlse=True, mlse_max_taps=5, rake_fingers=16,
+         channel_estimate_taps=64, adc_comparator_noise_std=0.0),
+     48, 256),
+)
+HEADLINE = "paper-grade back end"
+
+
+def _measure(config, backend, num_packets, payload_bits, rounds=1):
+    grid = sweep_grid([EBN0_DB], scenarios=("cm1",))
+    engine = SweepEngine(config=config, generation="gen2", seed=SEED,
+                         backend=backend)
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = engine.run(grid, num_packets=num_packets,
+                            payload_bits_per_packet=payload_bits)
+        best = min(best, time.perf_counter() - start)
+    return result.entries[0][1], best
+
+
+@pytest.mark.benchmark(group="bench-fullstack")
+def test_bench_fullstack_vs_packet_loop(benchmark):
+    def run_table():
+        rows = []
+        for name, config, num_packets, payload_bits in CONFIGS:
+            # Warm caches (FFT plans, keystream memo) on a tiny batch so
+            # neither backend pays first-call costs inside the timing.
+            _measure(config, "fullstack", 2, payload_bits)
+            full_rounds = 2 if name == HEADLINE else 1
+            fullstack, fullstack_s = _measure(
+                config, "fullstack", num_packets, payload_bits,
+                rounds=full_rounds)
+            packet, packet_s = _measure(config, "packet", num_packets,
+                                        payload_bits)
+            rows.append((name, num_packets, payload_bits, packet,
+                         packet_s, fullstack, fullstack_s))
+        return rows
+
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+
+    print_header("BENCH-FULLSTACK",
+                 f"one CM1 sweep point at {EBN0_DB:.0f} dB: batched "
+                 "full-stack receiver vs the per-packet loop")
+    table = []
+    for (name, num_packets, payload_bits, packet, packet_s,
+         fullstack, fullstack_s) in rows:
+        table.append([
+            name, f"{num_packets}x{payload_bits}b",
+            f"{packet_s * 1e3:9.1f} ms", f"{fullstack_s * 1e3:9.1f} ms",
+            f"{packet_s / max(fullstack_s, 1e-9):5.1f}x",
+            format_ber(fullstack.ber)])
+    print_table(["receiver config", "point", "packet loop", "fullstack",
+                 "speedup", "BER"], table)
+
+    for (name, _, _, packet, _, fullstack, _) in rows:
+        # The speedup claim is only meaningful because the measurements
+        # are the same measurements.
+        assert packet.bit_errors == fullstack.bit_errors, name
+        assert packet.packets_failed == fullstack.packets_failed, name
+
+    headline = {row[0]: row for row in rows}[HEADLINE]
+    speedup = headline[4] / max(headline[6], 1e-9)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched full-stack receiver managed only {speedup:.1f}x over the "
+        f"packet loop on the {HEADLINE!r} CM1 point (acceptance: "
+        f">= {REQUIRED_SPEEDUP:.0f}x)")

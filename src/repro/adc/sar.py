@@ -87,10 +87,30 @@ class SARADC:
         """Rate of the internal successive-approximation bit clock."""
         return self.bits * self.sample_rate_hz
 
-    def convert_codes(self, x, rng: np.random.Generator | None = None) -> np.ndarray:
+    def draw_comparator_noise(self, rng: np.random.Generator,
+                              shape) -> np.ndarray | None:
+        """Pre-draw the comparator noise one :meth:`convert_codes` call of
+        the given input ``shape`` would consume, in the same per-bit order.
+
+        Returns a ``(bits, *shape)`` array for the ``noise=`` injection
+        parameter, or ``None`` when comparator noise is disabled.  Batched
+        converters use this to keep a shared random stream consumed in
+        per-packet order while running the conversions as one batch.
+        """
+        if self.comparator_noise_std <= 0:
+            return None
+        return np.stack([rng.normal(0.0, self.comparator_noise_std,
+                                    size=shape)
+                         for _ in range(self.bits)])
+
+    def convert_codes(self, x, rng: np.random.Generator | None = None,
+                      noise: np.ndarray | None = None) -> np.ndarray:
         """Run the successive-approximation search on each sample.
 
-        Returns unsigned codes in ``[0, 2^bits - 1]``.
+        Returns unsigned codes in ``[0, 2^bits - 1]``.  ``noise``
+        (optional, shape ``(bits, *x.shape)``) injects pre-drawn
+        comparator noise instead of drawing from ``rng`` — see
+        :meth:`draw_comparator_noise`.
         """
         x = np.atleast_1d(np.asarray(x, dtype=float))
         if rng is None:
@@ -102,9 +122,14 @@ class SARADC:
         for bit_index in range(self.bits):
             weight = self._weights[bit_index]
             trial = estimate + 2.0 * weight
-            noise = (rng.normal(0.0, self.comparator_noise_std, size=x.shape)
-                     if self.comparator_noise_std > 0 else 0.0)
-            keep = (x + noise) >= trial
+            if noise is not None:
+                bit_noise = noise[bit_index]
+            elif self.comparator_noise_std > 0:
+                bit_noise = rng.normal(0.0, self.comparator_noise_std,
+                                       size=x.shape)
+            else:
+                bit_noise = 0.0
+            keep = (x + bit_noise) >= trial
             estimate = np.where(keep, trial, estimate)
             codes = codes | (keep.astype(np.int64) << (self.bits - 1 - bit_index))
         return codes
@@ -114,11 +139,17 @@ class SARADC:
         codes = np.asarray(codes, dtype=np.int64)
         return (codes.astype(float) + 0.5) * self.step - self.full_scale
 
-    def convert(self, x, rng: np.random.Generator | None = None) -> np.ndarray:
-        """Convert and reconstruct real input samples."""
+    def convert(self, x, rng: np.random.Generator | None = None,
+                noise: np.ndarray | None = None) -> np.ndarray:
+        """Convert and reconstruct real input samples.
+
+        ``noise`` injects pre-drawn comparator noise (see
+        :meth:`draw_comparator_noise`).
+        """
         x = np.asarray(x, dtype=float)
         scalar = x.ndim == 0
-        values = self.codes_to_values(self.convert_codes(x, rng=rng))
+        values = self.codes_to_values(self.convert_codes(x, rng=rng,
+                                                         noise=noise))
         return float(values[0]) if scalar else values
 
 
@@ -156,10 +187,16 @@ class QuadratureSARADC:
         """Per-path sampling rate."""
         return self.i_adc.sample_rate_hz
 
-    def convert(self, baseband, rng: np.random.Generator | None = None
-                ) -> np.ndarray:
-        """Digitize a complex baseband signal (I and Q independently)."""
+    def convert(self, baseband, rng: np.random.Generator | None = None,
+                noise_i: np.ndarray | None = None,
+                noise_q: np.ndarray | None = None) -> np.ndarray:
+        """Digitize a complex baseband signal (I and Q independently).
+
+        ``noise_i``/``noise_q`` inject pre-drawn comparator noise for the
+        two paths (see :meth:`SARADC.draw_comparator_noise`); a shared
+        ``rng`` draws I first then Q, matching the injection order.
+        """
         baseband = np.asarray(baseband, dtype=complex)
-        i_out = self.i_adc.convert(baseband.real, rng=rng)
-        q_out = self.q_adc.convert(baseband.imag, rng=rng)
+        i_out = self.i_adc.convert(baseband.real, rng=rng, noise=noise_i)
+        q_out = self.q_adc.convert(baseband.imag, rng=rng, noise=noise_q)
         return i_out + 1j * q_out

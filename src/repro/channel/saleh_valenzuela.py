@@ -126,31 +126,45 @@ class SalehValenzuelaChannelGenerator:
         cluster_times = np.concatenate((
             [0.0], self._poisson_arrivals(p.cluster_rate_per_ns, horizon)))
 
-        delays_ns: list[float] = []
-        gains: list[complex] = []
+        # The per-ray RNG calls must stay scalar and in this exact order —
+        # seeded streams are part of the published-results contract — so
+        # the loop only draws (and evaluates the scalar power law, whose
+        # vectorized ``**`` is NOT bit-identical to the scalar form); the
+        # exponential decay and the complex phasors are vectorized after
+        # the loop, where numpy's array exp IS bit-identical to its
+        # scalar exp.
+        shadow_sigma = np.sqrt(p.cluster_shadowing_db ** 2
+                               + p.ray_shadowing_db ** 2)
+        two_pi = 2.0 * np.pi
+        rng = self.rng
+        cluster_of_ray: list[float] = []
+        ray_of_ray: list[float] = []
+        shadow_linear: list[float] = []
+        phases_or_signs: list[float] = []
         for cluster_time in cluster_times:
             ray_times = np.concatenate((
                 [0.0],
                 self._poisson_arrivals(p.ray_rate_per_ns,
                                        horizon - cluster_time)))
             for ray_time in ray_times:
-                mean_power = np.exp(-cluster_time / p.cluster_decay_ns) \
-                    * np.exp(-ray_time / p.ray_decay_ns)
-                shadow_db = self.rng.normal(
-                    0.0, np.sqrt(p.cluster_shadowing_db ** 2
-                                 + p.ray_shadowing_db ** 2))
-                power = mean_power * 10.0 ** (shadow_db / 10.0)
-                amplitude = np.sqrt(power)
-                if self.complex_gains:
-                    phase = self.rng.uniform(0.0, 2.0 * np.pi)
-                    gain = amplitude * np.exp(1j * phase)
-                else:
-                    gain = amplitude * self.rng.choice([-1.0, 1.0])
-                delays_ns.append(cluster_time + ray_time)
-                gains.append(gain)
+                shadow_db = rng.normal(0.0, shadow_sigma)
+                shadow_linear.append(10.0 ** (shadow_db / 10.0))
+                phases_or_signs.append(
+                    rng.uniform(0.0, two_pi) if self.complex_gains
+                    else rng.choice([-1.0, 1.0]))
+                cluster_of_ray.append(cluster_time)
+                ray_of_ray.append(ray_time)
 
-        delays_s = np.asarray(delays_ns) * 1e-9
-        gains_arr = np.asarray(gains)
+        cluster_arr = np.asarray(cluster_of_ray)
+        ray_arr = np.asarray(ray_of_ray)
+        mean_power = (np.exp(-cluster_arr / p.cluster_decay_ns)
+                      * np.exp(-ray_arr / p.ray_decay_ns))
+        amplitude = np.sqrt(mean_power * np.asarray(shadow_linear))
+        if self.complex_gains:
+            gains_arr = amplitude * np.exp(1j * np.asarray(phases_or_signs))
+        else:
+            gains_arr = amplitude * np.asarray(phases_or_signs)
+        delays_s = (cluster_arr + ray_arr) * 1e-9
         channel = MultipathChannel(
             delays_s, gains_arr,
             name=f"{p.name}{name_suffix}")

@@ -150,9 +150,18 @@ class _PulsedReceiver:
             return (protected + code.constraint_length - 1) * code.rate_inverse
         return protected
 
-    def receive(self, waveform, rng: np.random.Generator | None = None,
-                monitor_spectrum: bool = False) -> ReceiveResult:
-        """Run the full receive pipeline on a simulation-rate waveform."""
+    def frontend_samples(self, waveform,
+                         rng: np.random.Generator | None = None,
+                         monitor_spectrum: bool = False):
+        """Analog waveform -> quantized ADC-rate stream (+ interferer report).
+
+        The front half of :meth:`receive` — decimation, AGC, ADC
+        conversion, and the spectral-monitor/digital-notch control loop —
+        shared verbatim with the batched full-stack receiver
+        (:class:`repro.sim.batch_rx.BatchedFullStackModel`), which runs it
+        per packet and batches everything downstream.  Returns
+        ``(samples, interferer_report)``.
+        """
         if rng is None:
             rng = np.random.default_rng()
 
@@ -180,6 +189,13 @@ class _PulsedReceiver:
                 notch_frequency_hz=interferer_report.frequency_hz,
                 sample_rate_hz=self.config.adc_rate_hz)
             samples = notch.apply(samples)
+        return samples, interferer_report
+
+    def receive(self, waveform, rng: np.random.Generator | None = None,
+                monitor_spectrum: bool = False) -> ReceiveResult:
+        """Run the full receive pipeline on a simulation-rate waveform."""
+        samples, interferer_report = self.frontend_samples(
+            waveform, rng=rng, monitor_spectrum=monitor_spectrum)
 
         acquisition = self.acquisition.acquire(samples)
         if not acquisition.detected:

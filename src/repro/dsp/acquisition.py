@@ -18,11 +18,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dsp.correlator import normalized_correlation, sliding_correlation
+from repro.dsp.correlator import (
+    _resolve_backend,
+    normalized_correlation,
+    normalized_correlation_batch,
+    sliding_correlation,
+    sliding_correlation_batch,
+)
 from repro.dsp.parallelizer import acquisition_time_s
 from repro.utils.validation import require_int, require_positive
 
-__all__ = ["AcquisitionConfig", "AcquisitionResult", "CoarseAcquisition"]
+__all__ = ["AcquisitionConfig", "AcquisitionResult",
+           "BatchedAcquisitionResult", "CoarseAcquisition"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +92,39 @@ class AcquisitionResult:
         return int(self.timing_offset_samples - true_offset)
 
 
+@dataclass(frozen=True)
+class BatchedAcquisitionResult:
+    """Acquisition outcomes for a whole batch of capture buffers.
+
+    The record layout mirrors :class:`AcquisitionResult` with one leading
+    batch axis: element ``i`` of every array is packet ``i``'s outcome, and
+    :meth:`result_for` materializes the per-packet view when scalar-record
+    consumers (packet scoring, reports) need one.
+    """
+
+    detected: np.ndarray
+    timing_offset_samples: np.ndarray
+    peak_metric: np.ndarray
+    num_hypotheses_searched: np.ndarray
+    search_time_s: np.ndarray
+    correlation_profiles: np.ndarray = field(repr=False, default=None)
+
+    def __len__(self) -> int:
+        return int(self.detected.size)
+
+    def result_for(self, index: int) -> AcquisitionResult:
+        """Packet ``index``'s outcome as a scalar :class:`AcquisitionResult`."""
+        profile = (self.correlation_profiles[index]
+                   if self.correlation_profiles is not None else None)
+        return AcquisitionResult(
+            detected=bool(self.detected[index]),
+            timing_offset_samples=int(self.timing_offset_samples[index]),
+            peak_metric=float(self.peak_metric[index]),
+            num_hypotheses_searched=int(self.num_hypotheses_searched[index]),
+            search_time_s=float(self.search_time_s[index]),
+            correlation_profile=profile)
+
+
 class CoarseAcquisition:
     """Threshold detector + argmax timing estimator over the preamble template."""
 
@@ -142,6 +182,100 @@ class CoarseAcquisition:
             num_hypotheses_searched=int(offsets.size),
             search_time_s=search_time,
             correlation_profile=metric)
+
+    def acquire_batch(self, samples, valid_lengths=None, backend=None,
+                      keep_profiles: bool = False) -> BatchedAcquisitionResult:
+        """Search a ``(packets, num_samples)`` batch of buffers at once.
+
+        The correlation plane — every packet x every timing hypothesis —
+        is computed in one batched FFT pass on the selected
+        :class:`~repro.sim.backends.ArrayBackend`; the per-packet decision
+        logic (argmax timing, threshold + CFAR detection) then replicates
+        :meth:`acquire` row by row.  ``valid_lengths`` gives each row's
+        true sample count when rows were zero-padded to a common width, so
+        padding never enters a packet's searched offsets.  Decisions match
+        per-packet :meth:`acquire` calls; the correlation floats can
+        differ at rounding level (the FFT length follows the batch width).
+        ``keep_profiles`` retains the normalized correlation plane (off by
+        default — it is the batch's largest array).
+        """
+        backend = _resolve_backend(backend)
+        samples = backend.asarray(samples)
+        if samples.ndim != 2:
+            raise ValueError("acquire_batch expects a (packets, num_samples) "
+                             "batch; use acquire() for a single buffer")
+        num_packets, num_samples = (int(samples.shape[0]),
+                                    int(samples.shape[1]))
+        if valid_lengths is None:
+            valid_lengths = np.full(num_packets, num_samples, dtype=np.int64)
+        else:
+            valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+            if valid_lengths.shape != (num_packets,):
+                raise ValueError("valid_lengths must hold one length per "
+                                 "packet")
+            if np.any(valid_lengths < 0) or np.any(valid_lengths
+                                                   > num_samples):
+                raise ValueError("valid_lengths must lie in [0, num_samples]")
+
+        raw = np.abs(backend.to_numpy(
+            sliding_correlation_batch(samples, self.template,
+                                      backend=backend)))
+        profiles = None
+        if keep_profiles:
+            profiles = np.abs(backend.to_numpy(
+                normalized_correlation_batch(samples, self.template,
+                                             backend=backend)))
+
+        detected = np.zeros(num_packets, dtype=bool)
+        timing = np.zeros(num_packets, dtype=np.int64)
+        peak = np.zeros(num_packets, dtype=float)
+        hypotheses = np.zeros(num_packets, dtype=np.int64)
+        search_time = np.zeros(num_packets, dtype=float)
+        cfar = np.zeros(num_packets, dtype=float)
+        raw_peak = np.zeros(num_packets, dtype=float)
+        template_size = int(self.template.size)
+        any_searched = False
+        for index in range(num_packets):
+            metric_size = max(int(valid_lengths[index]) - template_size + 1, 0)
+            if metric_size == 0:
+                continue
+            any_searched = True
+            offsets = self._searched_offsets(metric_size)
+            searched_raw = raw[index, offsets]
+            best_index = int(np.argmax(searched_raw))
+            timing[index] = int(offsets[best_index])
+            raw_peak[index] = float(searched_raw[best_index])
+            median_raw = float(np.median(searched_raw))
+            cfar[index] = (raw_peak[index] / median_raw
+                           if median_raw > 0 else np.inf)
+            hypotheses[index] = int(offsets.size)
+            search_time[index] = acquisition_time_s(
+                num_hypotheses=offsets.size,
+                parallelism=self.config.parallelism,
+                backend_clock_hz=self.config.backend_clock_hz)
+        if any_searched:
+            # The energy-normalized metric is only thresholded at each
+            # packet's raw-correlation peak, so normalize those single
+            # offsets instead of the whole plane (one small gather rather
+            # than a second batch-wide FFT pass).
+            xp = backend.xp
+            windows = backend.gather_windows(samples, timing[:, None],
+                                             template_size)
+            local_energy = backend.to_numpy(
+                xp.sum(xp.abs(windows) ** 2, axis=-1))[:, 0]
+            template_energy = float(np.sum(np.abs(np.asarray(
+                backend.to_numpy(self.template))) ** 2))
+            denom = np.sqrt(np.maximum(
+                np.maximum(local_energy, 0.0) * template_energy, 1e-30))
+            searched = hypotheses > 0
+            peak[searched] = raw_peak[searched] / denom[searched]
+            detected = searched & ((peak >= self.config.threshold)
+                                   | (cfar >= self.config.cfar_factor))
+        return BatchedAcquisitionResult(
+            detected=detected, timing_offset_samples=timing,
+            peak_metric=peak, num_hypotheses_searched=hypotheses,
+            search_time_s=search_time,
+            correlation_profiles=profiles)
 
     def first_crossing(self, samples) -> AcquisitionResult:
         """Early-terminate variant: stop at the first threshold crossing.

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dsp.correlator import _resolve_backend
 from repro.utils.fixed_point import FixedPointFormat
 from repro.utils.validation import require_int
 
-__all__ = ["ChannelEstimate", "ChannelEstimator"]
+__all__ = ["ChannelEstimate", "BatchedChannelEstimate", "ChannelEstimator"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,30 @@ class ChannelEstimate:
         mean = np.sum(powers * delays) / total
         second = np.sum(powers * delays ** 2) / total
         return float(np.sqrt(max(second - mean ** 2, 0.0)))
+
+
+@dataclass(frozen=True)
+class BatchedChannelEstimate:
+    """Channel estimates for a whole batch of packets.
+
+    ``taps`` carries a leading batch axis — row ``i`` is packet ``i``'s
+    (possibly quantized) composite-channel estimate on the receiver's
+    sample grid, starting at that packet's coarse-timing instant.
+    :meth:`estimate_for` materializes the scalar-record view.
+    """
+
+    taps: np.ndarray
+    sample_rate_hz: float
+    quantization_bits: int | None
+
+    def __len__(self) -> int:
+        return int(self.taps.shape[0])
+
+    def estimate_for(self, index: int) -> ChannelEstimate:
+        """Packet ``index``'s estimate as a scalar :class:`ChannelEstimate`."""
+        return ChannelEstimate(taps=self.taps[index],
+                               sample_rate_hz=self.sample_rate_hz,
+                               quantization_bits=self.quantization_bits)
 
 
 class ChannelEstimator:
@@ -180,6 +205,119 @@ class ChannelEstimator:
                 taps = fmt.quantize(taps)
         return ChannelEstimate(taps=taps, sample_rate_hz=sample_rate_hz,
                                quantization_bits=self.quantization_bits)
+
+    def estimate_averaged_batch(self, samples, timing_offsets,
+                                sample_rate_hz: float, num_repetitions: int,
+                                valid_lengths=None,
+                                backend=None) -> BatchedChannelEstimate:
+        """Batched :meth:`estimate_averaged` over ``(packets, num_samples)``.
+
+        ``timing_offsets`` holds each packet's coarse-acquisition timing;
+        ``valid_lengths`` each row's true sample count when the batch was
+        zero-padded to a common width.  Per packet, the estimate averages
+        the same leading repetitions :meth:`estimate_averaged` would use
+        (a repetition whose preamble copy no longer fits the buffer stops
+        the averaging, exactly like the per-packet ``break``), computes
+        the same zero-filled tail for taps beyond the usable window, and
+        quantizes with the same per-packet full scale.  All window
+        correlations run as one einsum on the selected
+        :class:`~repro.sim.backends.ArrayBackend`; decisions match the
+        per-packet path, floats at rounding level.
+        """
+        require_int(num_repetitions, "num_repetitions", minimum=1)
+        backend = _resolve_backend(backend)
+        xp = backend.xp
+
+        samples = backend.asarray(samples)
+        if samples.ndim != 2:
+            raise ValueError("estimate_averaged_batch expects a (packets, "
+                             "num_samples) batch; use estimate_averaged() "
+                             "for a single buffer")
+        num_packets, num_samples = (int(samples.shape[0]),
+                                    int(samples.shape[1]))
+        timing_offsets = np.asarray(timing_offsets, dtype=np.int64)
+        if timing_offsets.shape != (num_packets,):
+            raise ValueError("timing_offsets must hold one offset per packet")
+        if np.any(timing_offsets < 0):
+            raise ValueError("timing offsets must be non-negative")
+        if valid_lengths is None:
+            valid_lengths = np.full(num_packets, num_samples, dtype=np.int64)
+        else:
+            valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+
+        reference = self._reference_waveform()
+        ref_len = int(reference.size)
+        repetition_length = self.preamble_symbols.size * self.samples_per_symbol
+
+        # Repetition r of packet i is usable when its full reference still
+        # fits inside the valid region; offsets grow monotonically, so the
+        # count of usable repetitions equals the per-packet loop's leading
+        # run before its break.
+        rep_offsets = (timing_offsets[:, None]
+                       + np.arange(num_repetitions, dtype=np.int64)
+                       * repetition_length)
+        used = np.sum(valid_lengths[:, None] - rep_offsets >= ref_len, axis=1)
+        if np.any(used == 0):
+            raise ValueError("not enough samples for even one repetition")
+
+        # Zero out padding (and anything past each row's valid length) so
+        # windows that straddle a packet's tail contribute exactly the
+        # truncated sums the per-packet path computes -- then pad the batch
+        # so every gathered window is in bounds.
+        column = np.arange(num_samples, dtype=np.int64)
+        samples = xp.where(backend.asarray(column[None, :]
+                                           < valid_lengths[:, None]),
+                           samples, xp.zeros((), dtype=samples.dtype))
+        max_start = int(rep_offsets.max()) + self.num_taps - 1
+        overhang = max(max_start + ref_len - num_samples, 0)
+        if overhang:
+            samples = xp.concatenate(
+                (samples, xp.zeros((num_packets, overhang),
+                                   dtype=samples.dtype)), axis=-1)
+
+        # Window products reduced with sum(axis=-1): on the NumPy
+        # reference this is bit-identical to the per-packet per-tap
+        # np.sum dots (same pairwise reduction) — load-bearing, because
+        # the 4-bit-quantized taps are full of magnitude ties and the
+        # downstream selective-RAKE argsort must break them exactly like
+        # the per-packet path.  (An FFT correlation here would be faster
+        # but epsilon-different, and epsilon flips finger selection.)
+        starts = (rep_offsets[:, :, None]
+                  + np.arange(self.num_taps, dtype=np.int64)[None, None, :])
+        windows = backend.gather_windows(
+            samples, starts.reshape(num_packets, -1), ref_len)
+        reference_conj = backend.asarray(np.conj(reference))
+        reference_energy = float(np.sum(np.abs(reference) ** 2))
+        raw = xp.sum(windows * reference_conj, axis=-1) / reference_energy
+        raw = raw.reshape(num_packets, num_repetitions, self.num_taps)
+
+        # Zero exactly what the per-packet loop never computes (taps past
+        # each repetition's usable window), then accumulate repetitions
+        # sequentially in the per-packet order — bitwise, not a masked
+        # sum, for the same tie-breaking reason as above.
+        available = valid_lengths[:, None] - rep_offsets - ref_len + 1
+        usable = np.clip(np.minimum(available, self.num_taps), 0, None)
+        tap_mask = backend.asarray(
+            np.arange(self.num_taps)[None, None, :] < usable[:, :, None])
+        raw = xp.where(tap_mask, raw, xp.zeros((), dtype=raw.dtype))
+        accumulated = raw[:, 0]
+        for repetition in range(1, num_repetitions):
+            include = backend.asarray((used > repetition)[:, None])
+            accumulated = xp.where(include,
+                                   accumulated + raw[:, repetition],
+                                   accumulated)
+        taps = backend.to_numpy(accumulated) / used[:, None]
+
+        if self.quantization_bits is not None:
+            for index in range(num_packets):
+                peak = float(np.max(np.abs(taps[index]))) if taps.size else 0.0
+                if peak > 0:
+                    fmt = FixedPointFormat(total_bits=self.quantization_bits,
+                                           full_scale=peak * 1.001)
+                    taps[index] = fmt.quantize(taps[index])
+        return BatchedChannelEstimate(taps=taps,
+                                      sample_rate_hz=sample_rate_hz,
+                                      quantization_bits=self.quantization_bits)
 
     def _estimate_unquantized(self, received_samples,
                               timing_offset_samples: int) -> np.ndarray:

@@ -17,7 +17,8 @@ from scipy import signal as sp_signal
 from repro.utils.validation import require_int, require_positive
 
 __all__ = ["Correlator", "CorrelatorBank", "sliding_correlation",
-           "normalized_correlation"]
+           "normalized_correlation", "sliding_correlation_batch",
+           "normalized_correlation_batch"]
 
 
 def sliding_correlation(samples, template) -> np.ndarray:
@@ -57,6 +58,65 @@ def normalized_correlation(samples, template) -> np.ndarray:
     # fftconvolve can produce tiny negative values from round-off.
     local_energy = np.maximum(local_energy.real, 0.0)
     denom = np.sqrt(np.maximum(local_energy * template_energy, 1e-30))
+    return raw / denom
+
+
+def _resolve_backend(backend):
+    """Late-bound backend lookup (avoids a dsp <-> sim import cycle)."""
+    from repro.sim.backends import get_backend, reference_backend
+    return reference_backend() if backend is None else get_backend(backend)
+
+
+def sliding_correlation_batch(samples, template, backend=None):
+    """Sliding correlation of a ``(..., num_samples)`` batch of buffers.
+
+    The batched form of :func:`sliding_correlation`: output column ``k`` of
+    each row is ``sum_n samples[..., k + n] * conj(template[n])`` for every
+    alignment where the template fits (``'valid'``), computed for the whole
+    batch in one FFT pass on the selected
+    :class:`~repro.sim.backends.ArrayBackend`.  Rows padded to a common
+    length produce the same *decisions* as per-row calls; the floats can
+    differ at rounding level because the FFT length follows the padded
+    batch width.
+    """
+    backend = _resolve_backend(backend)
+    xp = backend.xp
+    samples = backend.asarray(samples)
+    template = backend.asarray(template)
+    num = int(samples.shape[-1])
+    length = int(template.shape[-1])
+    if length == 0 or num < length:
+        dtype = complex if (xp.iscomplexobj(samples)
+                            or xp.iscomplexobj(template)) else float
+        return xp.zeros(samples.shape[:-1] + (0,), dtype=dtype)
+    kernel = xp.conj(template[::-1]).reshape(
+        (1,) * (samples.ndim - 1) + (length,))
+    full = backend.fftconvolve_full(samples, kernel)
+    return full[..., length - 1:num]
+
+
+def normalized_correlation_batch(samples, template, backend=None):
+    """Batched :func:`normalized_correlation` over ``(..., num_samples)``.
+
+    Each row's output is the sliding correlation normalized by the local
+    signal and template energy, magnitude-bounded to [0, 1] — the detector
+    statistic :meth:`CoarseAcquisition.acquire_batch` thresholds.
+    """
+    backend = _resolve_backend(backend)
+    xp = backend.xp
+    samples = backend.asarray(samples)
+    template = backend.asarray(template)
+    raw = sliding_correlation_batch(samples, template, backend=backend)
+    if raw.shape[-1] == 0:
+        return raw
+    length = int(template.shape[-1])
+    num = int(samples.shape[-1])
+    template_energy = float(xp.sum(xp.abs(template) ** 2))
+    window = xp.ones((1,) * (samples.ndim - 1) + (length,))
+    local_energy = backend.fftconvolve_full(xp.abs(samples) ** 2,
+                                            window)[..., length - 1:num]
+    local_energy = xp.maximum(xp.real(local_energy), 0.0)
+    denom = xp.sqrt(xp.maximum(local_energy * template_energy, 1e-30))
     return raw / denom
 
 

@@ -21,11 +21,108 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dsp.channel_estimation import ChannelEstimate
+from repro.dsp.correlator import _resolve_backend
 from repro.utils.validation import require_int
 
-__all__ = ["RakeFinger", "RakeReceiver", "FINGER_POLICIES"]
+__all__ = ["RakeFinger", "RakeReceiver", "FINGER_POLICIES",
+           "combine_streams_batch", "finger_arrays"]
 
 FINGER_POLICIES = ("arake", "srake", "prake")
+
+
+def finger_arrays(receivers) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-packet RAKE fingers into padded ``(delays, weights)`` arrays.
+
+    ``receivers`` is one :class:`RakeReceiver` per packet; the result is a
+    pair of ``(packets, max_fingers)`` arrays, rows padded with zero-weight
+    fingers at delay 0 (a zero weight contributes exactly nothing to the
+    combined statistic, so padding is free).  This is the record layout
+    :func:`combine_streams_batch` consumes.
+    """
+    receivers = list(receivers)
+    if not receivers:
+        raise ValueError("need at least one RakeReceiver")
+    width = max(len(receiver.fingers) for receiver in receivers)
+    delays = np.zeros((len(receivers), width), dtype=np.int64)
+    weights = np.zeros((len(receivers), width), dtype=complex)
+    for index, receiver in enumerate(receivers):
+        for slot, finger in enumerate(receiver.fingers):
+            delays[index, slot] = finger.delay_samples
+            weights[index, slot] = finger.weight
+    return delays, weights
+
+
+def combine_streams_batch(samples, finger_delays, finger_weights, template,
+                          symbol_period_samples: int, first_symbol_samples,
+                          num_symbols: int, valid_lengths=None,
+                          backend=None) -> np.ndarray:
+    """Batched :meth:`RakeReceiver.combine_stream` over a packet batch.
+
+    Parameters mirror the per-packet call with one leading batch axis:
+    ``samples`` is ``(packets, num_samples)`` (rows zero-padded to a
+    common width, true counts in ``valid_lengths``), ``finger_delays`` /
+    ``finger_weights`` are the padded ``(packets, max_fingers)`` arrays
+    from :func:`finger_arrays`, and ``first_symbol_samples`` holds each
+    packet's first symbol start (acquisition timing shifts it per packet).
+    Every finger x symbol correlation of every packet is gathered and
+    reduced in one einsum on the selected
+    :class:`~repro.sim.backends.ArrayBackend`.  Fingers that start past a
+    packet's valid samples contribute exactly zero — the batched
+    equivalent of the per-packet skip/truncate — so decisions match the
+    per-packet loop, floats at rounding level.
+    """
+    require_int(symbol_period_samples, "symbol_period_samples", minimum=1)
+    require_int(num_symbols, "num_symbols", minimum=1)
+    backend = _resolve_backend(backend)
+    xp = backend.xp
+
+    samples = backend.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError("combine_streams_batch expects a (packets, "
+                         "num_samples) batch; use combine_stream() for one")
+    num_packets, num_samples = int(samples.shape[0]), int(samples.shape[1])
+    finger_delays = np.asarray(finger_delays, dtype=np.int64)
+    finger_weights = np.asarray(finger_weights)
+    first_symbol_samples = np.asarray(first_symbol_samples, dtype=np.int64)
+    if finger_delays.shape != finger_weights.shape \
+            or finger_delays.ndim != 2 \
+            or finger_delays.shape[0] != num_packets:
+        raise ValueError("finger_delays and finger_weights must both be "
+                         "(packets, max_fingers)")
+    if np.any(finger_delays < 0):
+        raise ValueError("finger delays must be non-negative")
+    if first_symbol_samples.shape != (num_packets,):
+        raise ValueError("first_symbol_samples must hold one start per packet")
+    template = np.asarray(template)
+    length = int(template.size)
+
+    if valid_lengths is not None:
+        valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+        column = np.arange(num_samples, dtype=np.int64)
+        samples = xp.where(backend.asarray(column[None, :]
+                                           < valid_lengths[:, None]),
+                           samples, xp.zeros((), dtype=samples.dtype))
+
+    starts = (first_symbol_samples[:, None, None]
+              + finger_delays[:, :, None]
+              + np.arange(num_symbols, dtype=np.int64)[None, None, :]
+              * symbol_period_samples)
+    overhang = max(int(starts.max()) + length - num_samples, 0)
+    if overhang:
+        samples = xp.concatenate(
+            (samples, xp.zeros((num_packets, overhang),
+                               dtype=samples.dtype)), axis=-1)
+
+    windows = backend.gather_windows(samples,
+                                     starts.reshape(num_packets, -1), length)
+    max_fingers = finger_delays.shape[1]
+    windows = windows.reshape(num_packets, max_fingers, num_symbols, length)
+    correlations = xp.einsum("pfkl,l->pfk", windows,
+                             xp.conj(backend.asarray(template)))
+    statistics = xp.einsum("pf,pfk->pk",
+                           xp.conj(backend.asarray(finger_weights)),
+                           correlations)
+    return np.asarray(backend.to_numpy(statistics), dtype=complex)
 
 
 @dataclass(frozen=True)

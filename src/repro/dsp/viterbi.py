@@ -16,7 +16,8 @@ import numpy as np
 from repro.dsp.channel_estimation import ChannelEstimate
 from repro.utils.validation import require_int
 
-__all__ = ["MLSEEqualizer", "symbol_spaced_channel", "rake_isi_taps"]
+__all__ = ["MLSEEqualizer", "symbol_spaced_channel", "rake_isi_taps",
+           "equalize_to_bits_batch"]
 
 
 def rake_isi_taps(channel_estimate: ChannelEstimate,
@@ -184,3 +185,101 @@ class MLSEEqualizer:
         """Equalize and map the BPSK alphabet back to bits (+1 -> 1, -1 -> 0)."""
         symbols = self.equalize(statistics)
         return (np.real(symbols) > 0).astype(np.int64)
+
+
+def equalize_to_bits_batch(equalizers, statistics_rows) -> list[np.ndarray]:
+    """Batched :meth:`MLSEEqualizer.equalize_to_bits` over many packets.
+
+    ``equalizers`` holds one per-packet :class:`MLSEEqualizer` (each built
+    from that packet's own ISI taps) and ``statistics_rows`` the matching
+    per-symbol statistics.  Packets sharing a trellis structure — same
+    alphabet, memory, and symbol count — run as one vectorized
+    add-compare-select pass; the candidate scan order and argmin
+    tie-breaking replicate the scalar :meth:`~MLSEEqualizer.equalize`
+    loop, so each packet's decided bits match its per-packet call.
+    """
+    equalizers = list(equalizers)
+    statistics_rows = [np.asarray(row, dtype=complex).ravel()
+                       for row in statistics_rows]
+    if len(equalizers) != len(statistics_rows):
+        raise ValueError("need one statistics row per equalizer")
+    results: list[np.ndarray | None] = [None] * len(equalizers)
+
+    groups: dict[tuple, list[int]] = {}
+    for index, (equalizer, row) in enumerate(zip(equalizers,
+                                                 statistics_rows)):
+        key = (equalizer.alphabet, equalizer.memory, row.size)
+        groups.setdefault(key, []).append(index)
+
+    for (alphabet, memory, num_symbols), members in groups.items():
+        if num_symbols == 0:
+            for index in members:
+                results[index] = np.zeros(0, dtype=np.int64)
+            continue
+        reference = equalizers[members[0]]
+        num_states = reference.num_states
+        num_symbols_alpha = len(alphabet)
+        alphabet_arr = np.asarray(alphabet, dtype=complex)
+
+        # Incoming transitions per next state, in the scalar loop's
+        # (state-major, symbol-minor) scan order for exact tie-breaking.
+        incoming: list[list[tuple[int, int]]] = [[]
+                                                 for _ in range(num_states)]
+        for state in range(num_states):
+            for symbol_index in range(num_symbols_alpha):
+                incoming[reference._next_state(state, symbol_index)].append(
+                    (state, symbol_index))
+        width = max(len(entry) for entry in incoming)
+        in_prev = np.zeros((num_states, width), dtype=np.int64)
+        in_sym = np.zeros((num_states, width), dtype=np.int64)
+        in_valid = np.zeros((num_states, width), dtype=bool)
+        for state, entry in enumerate(incoming):
+            for slot, (prev, symbol_index) in enumerate(entry):
+                in_prev[state, slot] = prev
+                in_sym[state, slot] = symbol_index
+                in_valid[state, slot] = True
+
+        # Expected noiseless statistics per (packet, state, new symbol).
+        state_history = np.asarray(
+            [reference._state_symbols(state) for state in range(num_states)],
+            dtype=complex).reshape(num_states, memory)
+        group_size = len(members)
+        taps = np.zeros((group_size, memory + 1), dtype=complex)
+        for row_index, index in enumerate(members):
+            taps[row_index] = equalizers[index].isi_taps
+        expected = (taps[:, 0, None, None] * alphabet_arr[None, None, :]
+                    + (state_history @ taps[:, 1:].T).T[:, :, None])
+
+        stats = np.asarray([statistics_rows[index] for index in members])
+        metrics = np.full((group_size, num_states), np.inf)
+        metrics[:, 0] = 0.0
+        surv_prev = np.zeros((num_symbols, group_size, num_states),
+                             dtype=np.int64)
+        surv_sym = np.zeros((num_symbols, group_size, num_states),
+                            dtype=np.int64)
+        state_index = np.arange(num_states)[None, :]
+        # All branch metrics up front, pre-gathered per incoming
+        # transition, so the sequential ACS loop touches only small
+        # per-step arrays.
+        branch_all = np.abs(stats[:, :, None, None]
+                            - expected[:, None, :, :]) ** 2
+        branch_incoming = branch_all[:, :, in_prev, in_sym]
+        if not in_valid.all():
+            branch_incoming[:, :, ~in_valid] = np.inf
+        for t in range(num_symbols):
+            candidates = metrics[:, in_prev] + branch_incoming[:, t]
+            choice = np.argmin(candidates, axis=-1)
+            metrics = np.min(candidates, axis=-1)
+            surv_prev[t] = in_prev[state_index, choice]
+            surv_sym[t] = in_sym[state_index, choice]
+
+        state = np.argmin(metrics, axis=-1)
+        decided = np.zeros((group_size, num_symbols), dtype=np.int64)
+        rows = np.arange(group_size)
+        for t in range(num_symbols - 1, -1, -1):
+            decided[:, t] = surv_sym[t, rows, state]
+            state = surv_prev[t, rows, state]
+        bits = (np.real(alphabet_arr[decided]) > 0).astype(np.int64)
+        for row_index, index in enumerate(members):
+            results[index] = bits[row_index]
+    return results

@@ -63,14 +63,18 @@ class ConvolutionalCode:
             bits = np.concatenate((bits,
                                    np.zeros(self.constraint_length - 1,
                                             dtype=np.int64)))
-        state = 0
-        coded = np.zeros(bits.size * self.rate_inverse, dtype=np.int64)
-        for i, bit in enumerate(bits):
-            register = (int(bit) << (self.constraint_length - 1)) | state
-            for j, gen in enumerate(self.generators):
-                coded[i * self.rate_inverse + j] = bin(register & gen).count("1") % 2
-            state = register >> 1
-        return coded
+        if bits.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        # A feedforward encoder is a sliding mod-2 correlation: register
+        # bit b at step i holds input bit i - (K-1) + b, so each output is
+        # the parity of a window/generator product — one integer matmul
+        # for the whole stream, bit-exact with the historical shift loop.
+        k = self.constraint_length
+        padded = np.concatenate((np.zeros(k - 1, dtype=np.int64), bits))
+        windows = np.lib.stride_tricks.sliding_window_view(padded, k)
+        taps = np.asarray([[(gen >> position) & 1 for position in range(k)]
+                           for gen in self.generators], dtype=np.int64)
+        return ((windows @ taps.T) % 2).ravel()
 
     def output_bits(self, state: int, input_bit: int) -> np.ndarray:
         """Coded output for one trellis transition."""
@@ -108,6 +112,24 @@ class ViterbiDecoder:
             for bit in (0, 1):
                 self._outputs[state, bit] = code.output_bits(state, bit)
                 self._next_states[state, bit] = code.next_state(state, bit)
+        # Incoming transitions per state, in (state-major, bit-minor) scan
+        # order — the same order the scalar add-compare-select visits them,
+        # so batched argmin tie-breaking matches the scalar "first strictly
+        # smaller candidate wins" rule exactly.
+        incoming: list[list[tuple[int, int]]] = [[] for _ in range(num_states)]
+        for state in range(num_states):
+            for bit in (0, 1):
+                incoming[int(self._next_states[state, bit])].append(
+                    (state, bit))
+        width = max(len(entry) for entry in incoming)
+        self._in_prev = np.zeros((num_states, width), dtype=np.int64)
+        self._in_bit = np.zeros((num_states, width), dtype=np.int64)
+        self._in_valid = np.zeros((num_states, width), dtype=bool)
+        for state, entry in enumerate(incoming):
+            for slot, (prev, bit) in enumerate(entry):
+                self._in_prev[state, slot] = prev
+                self._in_bit[state, slot] = bit
+                self._in_valid[state, slot] = True
 
     def decode(self, received, soft: bool = False,
                terminated: bool = True) -> np.ndarray:
@@ -169,4 +191,74 @@ class ViterbiDecoder:
             tail = self.code.constraint_length - 1
             if decoded.size >= tail:
                 decoded = decoded[:-tail] if tail > 0 else decoded
+        return decoded
+
+    def decode_batch(self, received, soft: bool = False,
+                     terminated: bool = True) -> np.ndarray:
+        """Decode a ``(packets, coded_bits)`` batch in one trellis pass.
+
+        Every row is decoded to exactly the bits :meth:`decode` would
+        return for it (the add-compare-select arithmetic, tie-breaking and
+        traceback all replicate the scalar path bit for bit); the batch
+        axis turns the per-state Python loops into array operations, which
+        is what makes the batched full-stack receiver's payload decoding
+        cheap.  All rows must share one coded length — callers group rows
+        by length first (see :meth:`repro.phy.packet.PacketParser
+        .parse_many`).
+        """
+        received = np.asarray(received, dtype=float)
+        if received.ndim != 2:
+            raise ValueError("decode_batch expects a (packets, coded_bits) "
+                             "batch; use decode() for a single stream")
+        num_packets = int(received.shape[0])
+        n = self.code.rate_inverse
+        if received.shape[1] % n != 0:
+            raise ValueError(
+                f"received length {received.shape[1]} is not a multiple "
+                f"of {n}")
+        num_steps = received.shape[1] // n
+        num_states = self.code.num_states
+
+        metrics = np.full((num_packets, num_states), np.inf)
+        metrics[:, 0] = 0.0
+        surv_prev = np.zeros((num_steps, num_packets, num_states),
+                             dtype=np.int64)
+        surv_bit = np.zeros((num_steps, num_packets, num_states),
+                            dtype=np.int64)
+
+        expected_bipolar = 2.0 * self._outputs - 1.0
+        reference = expected_bipolar if soft else self._outputs
+        in_prev, in_bit, in_valid = (self._in_prev, self._in_bit,
+                                     self._in_valid)
+        # All branch metrics up front: (packets, steps, states, 2), summed
+        # over the n coded bits of each step exactly as the scalar loop
+        # does per transition.
+        steps = received.reshape(num_packets, num_steps, n)
+        delta = steps[:, :, None, None, :] - reference[None, None, :, :, :]
+        branch_all = ((delta ** 2).sum(axis=-1) if soft
+                      else np.abs(delta).sum(axis=-1))
+        branch_incoming = branch_all[:, :, in_prev, in_bit]
+        if not in_valid.all():
+            branch_incoming[:, :, ~in_valid] = np.inf
+        state_index = np.arange(num_states)[None, :]
+        for t in range(num_steps):
+            candidates = metrics[:, in_prev] + branch_incoming[:, t]
+            choice = np.argmin(candidates, axis=-1)
+            metrics = np.min(candidates, axis=-1)
+            surv_prev[t] = in_prev[state_index, choice]
+            surv_bit[t] = in_bit[state_index, choice]
+
+        state = np.where(np.isfinite(metrics[:, 0]) if terminated
+                         else np.zeros(num_packets, dtype=bool),
+                         0, np.argmin(metrics, axis=-1))
+        decoded = np.zeros((num_packets, num_steps), dtype=np.int64)
+        rows = np.arange(num_packets)
+        for t in range(num_steps - 1, -1, -1):
+            decoded[:, t] = surv_bit[t, rows, state]
+            state = surv_prev[t, rows, state]
+
+        if terminated:
+            tail = self.code.constraint_length - 1
+            if num_steps >= tail and tail > 0:
+                decoded = decoded[:, :-tail]
         return decoded

@@ -33,10 +33,12 @@ class CRC:
         if bits.size and not np.all((bits == 0) | (bits == 1)):
             raise ValueError("bits must contain only 0 and 1")
         register = self.initial_value
-        top_bit = 1 << (self.width - 1)
         mask = (1 << self.width) - 1
-        for bit in bits:
-            incoming = int(bit) ^ ((register >> (self.width - 1)) & 1)
+        top_shift = self.width - 1
+        # Iterating Python ints (tolist) instead of numpy scalars keeps the
+        # identical bit-serial arithmetic ~10x cheaper per packet.
+        for bit in bits.tolist():
+            incoming = bit ^ ((register >> top_shift) & 1)
             register = ((register << 1) & mask)
             if incoming:
                 register ^= self.polynomial

@@ -155,6 +155,75 @@ class PacketParser:
         else:
             scrambled = coded
 
+        return self._finish_parse(scrambled, payload_length, modulation_id,
+                                  coding_flag)
+
+    def parse_many(self, body_bits_rows,
+                   soft_values_rows=None) -> list["ParseResult"]:
+        """Parse a batch of received packets, sharing Viterbi trellis passes.
+
+        Each row is parsed to exactly the :class:`ParseResult` that
+        :meth:`parse` would return for it; rows whose (possibly corrupted)
+        headers imply the same coded length and decision mode are decoded
+        together through :meth:`ViterbiDecoder.decode_batch`, which is
+        where the per-packet parse spends most of its time.
+        ``soft_values_rows`` (optional, one entry per row, entries may be
+        ``None``) carries the per-row soft reliabilities :meth:`parse`
+        accepts.
+        """
+        rows = [np.asarray(row, dtype=np.int64).ravel()
+                for row in body_bits_rows]
+        if soft_values_rows is None:
+            soft_values_rows = [None] * len(rows)
+        else:
+            soft_values_rows = list(soft_values_rows)
+            if len(soft_values_rows) != len(rows):
+                raise ValueError("soft_values_rows must hold one entry "
+                                 "(possibly None) per body-bits row")
+
+        results: list[ParseResult | None] = [None] * len(rows)
+        # (soft?, usable coded length) -> list of (row index, decoder input)
+        groups: dict[tuple[bool, int], list[tuple[int, np.ndarray]]] = {}
+        headers: dict[int, tuple[int, int, int]] = {}
+        for index, body_bits in enumerate(rows):
+            if body_bits.size < HEADER_LENGTH_BITS:
+                results[index] = ParseResult(np.zeros(0, dtype=np.int64),
+                                             False, 0, 0, 0)
+                continue
+            header = body_bits[:HEADER_LENGTH_BITS]
+            payload_length = bits_to_int(header[:12])
+            modulation_id = bits_to_int(header[12:15])
+            coding_flag = int(header[15])
+            headers[index] = (payload_length, modulation_id, coding_flag)
+            coded = body_bits[HEADER_LENGTH_BITS:]
+            if coding_flag and self._decoder is not None:
+                soft_values = soft_values_rows[index]
+                rate = self.config.code.rate_inverse
+                if soft_values is not None:
+                    soft = np.asarray(soft_values, dtype=float).ravel()
+                    usable = (soft.size // rate) * rate
+                    groups.setdefault((True, usable), []).append(
+                        (index, soft[:usable]))
+                else:
+                    usable = (coded.size // rate) * rate
+                    groups.setdefault((False, usable), []).append(
+                        (index, coded[:usable].astype(float)))
+            else:
+                results[index] = self._finish_parse(coded, *headers[index])
+
+        for (soft, _usable), members in groups.items():
+            batch = np.asarray([entry for _, entry in members])
+            decoded = self._decoder.decode_batch(batch, soft=soft,
+                                                 terminated=True)
+            for (index, _), scrambled in zip(members, decoded):
+                results[index] = self._finish_parse(scrambled,
+                                                    *headers[index])
+        return results
+
+    def _finish_parse(self, scrambled, payload_length: int,
+                      modulation_id: int, coding_flag: int) -> "ParseResult":
+        """Descramble + CRC-check one packet's decoded stream (the shared
+        tail of :meth:`parse` and :meth:`parse_many`)."""
         descrambled = self.config.scrambler().descramble(scrambled)
         expected_protected = payload_length + self.config.crc.width
         if descrambled.size < expected_protected:

@@ -17,6 +17,11 @@ from repro.utils.validation import require_int
 
 __all__ = ["Scrambler"]
 
+# Keystreams are pure functions of (taps, seed, length); packet builders
+# create a fresh Scrambler per packet, so memoizing the longest stream
+# computed per configuration turns the per-packet LFSR loop into a slice.
+_KEYSTREAM_CACHE: dict[tuple[tuple[int, ...], int], np.ndarray] = {}
+
 
 @dataclass
 class Scrambler:
@@ -42,15 +47,20 @@ class Scrambler:
     def keystream(self, num_bits: int) -> np.ndarray:
         """The scrambling sequence itself."""
         require_int(num_bits, "num_bits", minimum=0)
-        state = self.seed
-        out = np.zeros(num_bits, dtype=np.int64)
-        for i in range(num_bits):
-            feedback = 0
-            for tap in self.taps:
-                feedback ^= (state >> (tap - 1)) & 1
-            out[i] = feedback
-            state = ((state << 1) | feedback) & ((1 << self._degree) - 1)
-        return out
+        key = (tuple(self.taps), self.seed)
+        cached = _KEYSTREAM_CACHE.get(key)
+        if cached is None or cached.size < num_bits:
+            state = self.seed
+            out = np.zeros(num_bits, dtype=np.int64)
+            for i in range(num_bits):
+                feedback = 0
+                for tap in self.taps:
+                    feedback ^= (state >> (tap - 1)) & 1
+                out[i] = feedback
+                state = ((state << 1) | feedback) & ((1 << self._degree) - 1)
+            _KEYSTREAM_CACHE[key] = out
+            cached = out
+        return cached[:num_bits].copy()
 
     def scramble(self, bits) -> np.ndarray:
         """XOR the bits with the keystream (self-inverse)."""

@@ -138,6 +138,11 @@ class PulseTrainGenerator:
         pulse_wave = self.pulse.waveform
         pulse_len = pulse_wave.size
 
+        placed = (self._place_amplitude_grid(waveform, symbols, amplitudes)
+                  if not hop and offsets is None else None)
+        if placed is not None:
+            return placed
+
         pulse_index = 0
         for sym_idx, symbol in enumerate(symbols):
             for rep in range(self.config.pulses_per_symbol):
@@ -163,6 +168,41 @@ class PulseTrainGenerator:
             symbols=symbols.copy(),
             pulse=self.pulse,
         )
+
+    def _place_amplitude_grid(self, waveform, symbols,
+                              amplitudes) -> PulseTrain | None:
+        """Vectorized placement for amplitude-only trains on the PRI grid.
+
+        Valid only when every pulse start lands exactly on its nominal
+        ``pulse_index * samples_per_pri`` position (the float start-time
+        arithmetic of the general path is reproduced and checked, so the
+        output is bit-identical to the per-pulse loop); returns ``None``
+        to fall back to the loop when rounding jitter moves any start.
+        """
+        reps = self.config.pulses_per_symbol
+        num_pulses = symbols.size * reps
+        if num_pulses == 0:
+            return PulseTrain(waveform=waveform,
+                              sample_rate_hz=self.pulse.sample_rate_hz,
+                              config=self.config, symbols=symbols.copy(),
+                              pulse=self.pulse)
+        start_times = (np.arange(symbols.size, dtype=float)[:, None]
+                       * self.config.symbol_duration_s
+                       + np.arange(reps, dtype=float)[None, :]
+                       * self.config.pulse_repetition_interval_s)
+        starts = np.rint(start_times.ravel()
+                         * self.pulse.sample_rate_hz).astype(np.int64)
+        nominal = np.arange(num_pulses, dtype=np.int64) * self._samples_per_pri
+        if not np.array_equal(starts, nominal):
+            return None
+        shaped = waveform.reshape(num_pulses, self._samples_per_pri)
+        amp = np.repeat(np.asarray(amplitudes), reps)
+        shaped[:, :self.pulse.num_samples] = (amp[:, None]
+                                              * self.pulse.waveform)
+        return PulseTrain(waveform=waveform,
+                          sample_rate_hz=self.pulse.sample_rate_hz,
+                          config=self.config, symbols=symbols.copy(),
+                          pulse=self.pulse)
 
     def generate_from_bits(self, bits) -> PulseTrain:
         """Modulate bits and build the corresponding pulse train."""

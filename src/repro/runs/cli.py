@@ -171,11 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--generation", choices=("gen1", "gen2"),
                        default="gen2",
                        help="transceiver generation (default: gen2)")
-    sweep.add_argument("--backend", choices=("batch", "packet"),
+    sweep.add_argument("--backend", choices=("batch", "fullstack", "packet"),
                        default="batch",
                        help="simulation backend: 'batch' is the vectorized "
-                            "genie-timed kernel, 'packet' the full "
-                            "per-packet stack (default: batch)")
+                            "genie-timed kernel, 'fullstack' the batched "
+                            "full receiver chain (real acquisition/channel "
+                            "estimation/RAKE, bit-decision-identical to "
+                            "'packet'), 'packet' the per-packet reference "
+                            "stack (default: batch)")
     sweep.add_argument("--array-backend",
                        choices=("numpy", "cupy", "jax"), default=None,
                        help="array backend the batch kernel runs on "

@@ -93,6 +93,11 @@ class RunManifest:
         require_int(self.num_packets, "num_packets", minimum=1)
         require_int(self.payload_bits_per_packet,
                     "payload_bits_per_packet", minimum=1)
+        if self.backend not in ("batch", "packet", "fullstack"):
+            raise ValueError(
+                f"run manifest names unknown backend {self.backend!r}; "
+                "this repository knows 'batch', 'packet' and 'fullstack' "
+                "(a manifest from a newer code version?)")
         if not self.points:
             raise ValueError("a run needs at least one grid point")
 

@@ -35,10 +35,14 @@ Scenarios are resolved by name against :data:`repro.sim.SCENARIOS`
 partial-band interference, gen-1/gen-2 baseline presets); register custom
 environments with :meth:`ScenarioRegistry.register`.
 
-Two backends share the same grid interface: ``backend="batch"`` (default)
-is the vectorized genie-timed kernel in :mod:`repro.sim.batch`;
-``backend="packet"`` drives the full per-packet transceiver stack when
-acquisition, channel estimation, and CRC behaviour must be included.
+Three backends share the same grid interface: ``backend="batch"``
+(default) is the vectorized genie-timed kernel in :mod:`repro.sim.batch`;
+``backend="fullstack"`` is the batched full receiver chain in
+:mod:`repro.sim.batch_rx` — real acquisition, channel estimation, RAKE
+and Viterbi over a batch axis, bit-decision-identical to the packet loop
+at a fraction of its cost; ``backend="packet"`` drives the per-packet
+transceiver stack one packet at a time (the reference oracle the
+fullstack backend is pinned against).
 
 Orthogonal to that choice, the batch kernel's array operations run on a
 pluggable *array backend* (:mod:`repro.sim.backends`): the NumPy
@@ -61,6 +65,7 @@ from repro.sim.backends import (
     register_backend,
 )
 from repro.sim.batch import BatchedLinkModel, BatchResult, pulse_for_config
+from repro.sim.batch_rx import BatchedFullStackModel, FullStackBatchResult
 from repro.sim.engine import SweepEngine, SweepPoint, SweepResult, sweep_grid
 from repro.sim.scenarios import (
     SCENARIOS,
@@ -73,7 +78,9 @@ from repro.sim.shm import ChunkResultBlock
 __all__ = [
     "ArrayBackend",
     "BatchResult",
+    "BatchedFullStackModel",
     "BatchedLinkModel",
+    "FullStackBatchResult",
     "ChunkResultBlock",
     "CupyBackend",
     "JaxBackend",

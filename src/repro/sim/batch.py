@@ -31,6 +31,14 @@ quantization) and the digital notch are still modelled because they are the
 impairments the paper's resolution claims hinge on.  The result matches the
 full per-packet simulator within Monte-Carlo tolerance at operating points
 where synchronization is reliable, at a fraction of the cost.
+
+When synchronization and estimation losses are the point — the paper's
+synchronization cliff, the genie-vs-full-stack BER gap, energy capture
+vs RAKE fingers — use the batched *full-stack* sibling instead:
+:class:`repro.sim.batch_rx.BatchedFullStackModel`
+(``SweepEngine(backend="fullstack")``), which runs the real receiver
+chain over the batch axis and is bit-decision-identical to the
+per-packet oracle.
 """
 
 from __future__ import annotations

@@ -1,10 +1,15 @@
 """Grid-level Monte-Carlo sweep engine.
 
 A :class:`SweepEngine` runs whole grids of operating points — Eb/N0 x
-modulation x channel scenario x ADC resolution — through either the
-vectorized batch kernel (:class:`repro.sim.batch.BatchedLinkModel`, the
-default) or the full per-packet transceiver stack (``backend="packet"``,
-bit-exact with the legacy :class:`repro.core.link.LinkSimulator` flow).
+modulation x channel scenario x ADC resolution — through one of three
+backends: the vectorized genie-timed batch kernel
+(:class:`repro.sim.batch.BatchedLinkModel`, the default), the batched
+full-stack receiver (``backend="fullstack"``,
+:class:`repro.sim.batch_rx.BatchedFullStackModel` — real acquisition,
+channel estimation, RAKE and Viterbi, bit-decision-identical to the
+packet loop), or the full per-packet transceiver stack
+(``backend="packet"``, the reference oracle, bit-exact with the legacy
+:class:`repro.core.link.LinkSimulator` flow).
 
 Reproducibility: every grid point gets its own :class:`numpy.random
 .Generator` keyed on the engine seed *and the point's content* (not its
@@ -49,6 +54,13 @@ from repro.sim.shm import ChunkResultBlock, chunk_slices
 from repro.utils.validation import require_int
 
 __all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
+
+_BACKENDS = ("batch", "packet", "fullstack")
+_FULLSTACK_RX_VERSION = 1
+_FULL_STACK_BPSK_MESSAGE = (
+    "backend={backend!r} drives the full transceiver stack, which is "
+    "BPSK-only, but the grid sweeps modulation(s) {modulations}; use "
+    "backend='batch' for other modulations or drop them from the grid")
 
 
 @dataclass(frozen=True)
@@ -238,16 +250,30 @@ def _run_point_record(task: _PointTask) -> tuple[BERPoint, np.ndarray]:
         errors = np.asarray(result.errors_per_packet, dtype=np.int64)
         return result.to_ber_point(), errors
 
-    # backend == "packet": the legacy full-stack flow, one packet at a time.
     if point.modulation != "bpsk":
-        raise ValueError("the packet backend drives the full transceiver, "
-                         "which is BPSK-only; use backend='batch' for other "
-                         "modulations")
+        raise ValueError(_FULL_STACK_BPSK_MESSAGE.format(
+            backend=task.backend, modulations=point.modulation))
     from repro.core.transceiver import Gen1Transceiver, Gen2Transceiver
     hardware_rng = np.random.default_rng(hardware_seed)
     transceiver_cls = (Gen1Transceiver if isinstance(config, Gen1Config)
                        else Gen2Transceiver)
     transceiver = transceiver_cls(config, rng=hardware_rng)
+
+    if task.backend == "fullstack":
+        # Batched full-stack receiver: same per-packet random-stream order
+        # as the packet loop below (bit-decision-identical), DSP batched.
+        from repro.sim.batch_rx import BatchedFullStackModel
+        model = BatchedFullStackModel(
+            transceiver, backend=get_backend(task.array_backend))
+        batch = model.simulate(
+            point.ebn0_db, task.num_packets, task.payload_bits_per_packet,
+            rng=noise_rng,
+            make_channel=lambda: scenario.make_channel(scenario_rng),
+            make_interferer=lambda: scenario.make_interferer(scenario_rng))
+        return batch.to_ber_point(), batch.errors_per_packet
+
+    # backend == "packet": the reference full-stack flow, one packet at a
+    # time (kept as the oracle the fullstack backend is pinned against).
     bit_errors = 0
     total_bits = 0
     packets_failed = 0
@@ -362,8 +388,13 @@ class SweepEngine:
         Root seed; each grid point derives an independent child stream, so
         equal seeds give identical results whatever the execution order.
     backend:
-        ``"batch"`` (vectorized fast path) or ``"packet"`` (full per-packet
-        transceiver stack, slower but bit-exact with ``LinkSimulator``).
+        ``"batch"`` (vectorized genie-timed kernel), ``"fullstack"``
+        (batched full receiver chain — acquisition, channel estimation,
+        RAKE, Viterbi — bit-decision-identical to the packet loop at a
+        fraction of its cost; see :mod:`repro.sim.batch_rx`), or
+        ``"packet"`` (the per-packet reference oracle, bit-exact with
+        ``LinkSimulator``).  The full-stack backends are BPSK-only and
+        reject other modulations when the grid is submitted.
     quantize:
         Batch backend only: model AGC + ADC quantization (default on).
     max_workers:
@@ -393,8 +424,9 @@ class SweepEngine:
                  shared_memory: bool = True) -> None:
         if generation not in ("gen1", "gen2"):
             raise ValueError("generation must be 'gen1' or 'gen2'")
-        if backend not in ("batch", "packet"):
-            raise ValueError("backend must be 'batch' or 'packet'")
+        if backend not in _BACKENDS:
+            raise ValueError("backend must be one of "
+                             + ", ".join(repr(name) for name in _BACKENDS))
         if max_workers is not None:
             require_int(max_workers, "max_workers", minimum=1)
         self.config = config
@@ -448,12 +480,35 @@ class SweepEngine:
         }
         if self.array_backend != "numpy":
             payload["array_backend"] = self.array_backend
+        if self.backend == "fullstack":
+            # Version the batched receiver separately: a future revision of
+            # its numerics bumps this component, so stale repro.runs cache
+            # entries can never collide with new fullstack measurements.
+            # Batch/packet digests stay byte-identical to earlier releases.
+            payload["fullstack_rx"] = _FULLSTACK_RX_VERSION
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Grid execution
     # ------------------------------------------------------------------
+    def _validate_modulations(self, points) -> None:
+        """Fail fast when a full-stack backend meets a non-BPSK grid.
+
+        The packet and fullstack backends drive the real transceiver,
+        which is BPSK-only; raising here — when the grid is submitted,
+        before any point is simulated — replaces the historical failure
+        deep inside ``measure_point`` after a possibly long partial sweep.
+        """
+        if self.backend == "batch":
+            return
+        unsupported = sorted({point.modulation for point in points
+                              if point.modulation != "bpsk"})
+        if unsupported:
+            raise ValueError(_FULL_STACK_BPSK_MESSAGE.format(
+                backend=self.backend,
+                modulations=", ".join(unsupported)))
+
     def _task_for(self, point: SweepPoint, num_packets: int,
                   payload_bits_per_packet: int,
                   packet_offset: int = 0) -> _PointTask:
@@ -486,6 +541,7 @@ class SweepEngine:
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
         require_int(packet_offset, "packet_offset", minimum=0)
+        self._validate_modulations((point,))
         return _run_point(self._task_for(point, num_packets,
                                          payload_bits_per_packet,
                                          packet_offset))
@@ -510,6 +566,7 @@ class SweepEngine:
             # Validate before coercing, exactly as measure_point would.
             require_int(num_packets, "num_packets", minimum=1)
             require_int(packet_offset, "packet_offset", minimum=0)
+        self._validate_modulations([point for point, _, _ in jobs])
         tasks = [self._task_for(point, int(num_packets),
                                 payload_bits_per_packet, int(packet_offset))
                  for point, num_packets, packet_offset in jobs]
@@ -560,6 +617,7 @@ class SweepEngine:
         require_int(num_packets, "num_packets", minimum=1)
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
+        self._validate_modulations(points)
         effective_workers = (self.max_workers if max_workers is None
                              else max_workers)
         if effective_workers is not None:

@@ -1,0 +1,144 @@
+"""Golden regression for the batched full-stack receiver.
+
+``golden_fullstack_fixture.json`` pins what the fullstack backend produced
+when it was introduced, for one canonical CM1 grid point: the batched
+acquisition record (detections, timings, search sizes, peak metrics), the
+quantized channel-estimate taps, and the post-RAKE error counts.  The
+same-named pattern guards the array backends (PR 3); this fixture is the
+contract that keeps ``repro.runs`` caches and published full-stack curves
+stable across refactors of the batched receiver.
+
+Integer decisions must match exactly.  Float observables (peak metrics,
+taps) are compared at ``rtol=1e-9`` — they ride on FFT output whose last
+ulp may differ across BLAS/FFT builds, while the decisions derived from
+them are pinned exactly.
+
+Regenerate (only when an intentional receiver change bumps
+``repro.sim.engine._FULLSTACK_RX_VERSION``)::
+
+    PYTHONPATH=src:tests/sim python -c "import test_fullstack_golden as m; m.write_fixture()"
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import Gen2Config
+from repro.core.transceiver import Gen2Transceiver
+from repro.sim.batch_rx import BatchedFullStackModel
+from repro.sim.scenarios import SCENARIOS
+
+FIXTURE_PATH = Path(__file__).with_name("golden_fullstack_fixture.json")
+
+CANONICAL = {
+    "generation": "gen2",
+    "scenario": "cm1",
+    "ebn0_db": 6.0,
+    "num_packets": 12,
+    "payload_bits_per_packet": 64,
+    "hardware_seed": 2025,
+    "noise_seed": 4005,
+    "scenario_seed": 4006,
+}
+
+
+def run_canonical_point():
+    """The canonical CM1 point, reproduced exactly as the fixture was."""
+    scenario = SCENARIOS.get(CANONICAL["scenario"])
+    scenario_rng = np.random.default_rng(CANONICAL["scenario_seed"])
+    transceiver = Gen2Transceiver(
+        Gen2Config.fast_test_config(),
+        rng=np.random.default_rng(CANONICAL["hardware_seed"]))
+    model = BatchedFullStackModel(transceiver)
+    return model.simulate(
+        CANONICAL["ebn0_db"], CANONICAL["num_packets"],
+        CANONICAL["payload_bits_per_packet"],
+        rng=np.random.default_rng(CANONICAL["noise_seed"]),
+        make_channel=lambda: scenario.make_channel(scenario_rng),
+        make_interferer=lambda: scenario.make_interferer(scenario_rng))
+
+
+def _complex_rows(taps: np.ndarray) -> list:
+    return [[[float(value.real), float(value.imag)] for value in row]
+            for row in np.asarray(taps, dtype=complex)]
+
+
+def write_fixture() -> None:
+    """Regenerate the golden fixture from the current implementation."""
+    batch = run_canonical_point()
+    acquisition = batch.acquisition
+    fixture = {
+        "canonical": CANONICAL,
+        "measurement": {
+            "bit_errors": batch.bit_errors,
+            "total_bits": batch.total_bits,
+            "packets_sent": batch.packets_sent,
+            "packets_failed": batch.packets_failed,
+            "errors_per_packet": [int(count) for count
+                                  in batch.errors_per_packet],
+        },
+        "acquisition": {
+            "detected": [bool(flag) for flag in acquisition.detected],
+            "timing_offset_samples": [
+                int(value) for value in acquisition.timing_offset_samples],
+            "num_hypotheses_searched": [
+                int(value) for value in acquisition.num_hypotheses_searched],
+            "peak_metric": [float(value)
+                            for value in acquisition.peak_metric],
+        },
+        "channel_estimate_taps": _complex_rows(
+            batch.channel_estimates.taps),
+    }
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2) + "\n",
+                            encoding="utf-8")
+
+
+def _load_fixture() -> dict:
+    with FIXTURE_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_canonical_cm1_point_matches_golden():
+    fixture = _load_fixture()
+    assert fixture["canonical"] == CANONICAL, (
+        "fixture was generated for different canonical-point parameters")
+    batch = run_canonical_point()
+
+    expected = fixture["measurement"]
+    assert batch.bit_errors == expected["bit_errors"]
+    assert batch.total_bits == expected["total_bits"]
+    assert batch.packets_sent == expected["packets_sent"]
+    assert batch.packets_failed == expected["packets_failed"]
+    assert [int(count) for count in batch.errors_per_packet] \
+        == expected["errors_per_packet"]
+
+    acquisition = fixture["acquisition"]
+    assert [bool(flag) for flag in batch.acquisition.detected] \
+        == acquisition["detected"]
+    assert [int(value) for value
+            in batch.acquisition.timing_offset_samples] \
+        == acquisition["timing_offset_samples"]
+    assert [int(value) for value
+            in batch.acquisition.num_hypotheses_searched] \
+        == acquisition["num_hypotheses_searched"]
+    np.testing.assert_allclose(batch.acquisition.peak_metric,
+                               acquisition["peak_metric"], rtol=1e-9)
+
+    expected_taps = np.asarray(
+        [[complex(real, imag) for real, imag in row]
+         for row in fixture["channel_estimate_taps"]])
+    np.testing.assert_allclose(batch.channel_estimates.taps, expected_taps,
+                               rtol=1e-9, atol=1e-12)
+
+
+def test_fixture_exercises_the_full_chain():
+    """The pinned point must actually exercise multipath reception: every
+    packet detected, a non-trivial channel estimate, and some (but not
+    catastrophic) residual errors would all be plausible — at minimum the
+    fixture must carry one detection and a multi-tap estimate."""
+    fixture = _load_fixture()
+    assert any(fixture["acquisition"]["detected"])
+    assert len(fixture["channel_estimate_taps"][0]) > 1
+    assert fixture["measurement"]["total_bits"] == (
+        CANONICAL["num_packets"] * CANONICAL["payload_bits_per_packet"])

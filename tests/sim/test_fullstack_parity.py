@@ -1,0 +1,260 @@
+"""Parity suite: the batched full-stack receiver IS the packet-loop receiver.
+
+The contract under test: ``backend="fullstack"``
+(:class:`repro.sim.batch_rx.BatchedFullStackModel`) must reproduce the
+per-packet oracle — ``backend="packet"`` /
+:meth:`repro.core.receiver._PulsedReceiver.receive` — *bit decision for
+bit decision* on shared seeded inputs, not merely statistically.  Three
+layers of evidence:
+
+* shared-waveform parity: one seeded waveform set (AWGN + CM1 multipath +
+  narrowband interference) pushed through both receive paths, comparing
+  per-packet payload bits, body bits, detection, timing and CRC;
+* engine-point parity: whole grid points measured by both backends from
+  the engine's own seeding, comparing error counts per packet;
+* a hypothesis-style randomized property: batched acquisition must return
+  identical ``detected``/``offset`` to a per-packet ``acquire`` loop for
+  random true timing offsets and SNRs (fixed seeds).
+
+A coarser 3-sigma statistical check against the genie batch kernel on a
+gen-1 grid (slow, marked accordingly) guards the physics: above the
+synchronization cliff the full stack converges to the genie's BER.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.transceiver import Gen1Transceiver, Gen2Transceiver
+from repro.dsp.acquisition import AcquisitionConfig, CoarseAcquisition
+from repro.sim import SweepEngine, sweep_grid
+from repro.sim.batch_rx import BatchedFullStackModel
+from repro.sim.scenarios import SCENARIOS
+
+
+def _build_transceiver(generation, config=None, hardware_seed=7):
+    if generation == "gen1":
+        config = config if config is not None else Gen1Config.fast_test_config()
+        return Gen1Transceiver(config, rng=np.random.default_rng(hardware_seed))
+    config = config if config is not None else Gen2Config.fast_test_config()
+    return Gen2Transceiver(config, rng=np.random.default_rng(hardware_seed))
+
+
+def _shared_waveform_set(transceiver, scenario_name, num_packets, seed,
+                         payload_bits=64, ebn0_db=6.0):
+    """One seeded set of received analog waveforms plus their payloads."""
+    from repro.channel.awgn import awgn, noise_std_for_ebn0
+    from repro.channel.interference import accepts_rng
+
+    scenario = SCENARIOS.get(scenario_name)
+    scenario_rng = np.random.default_rng(seed + 1)
+    rng = np.random.default_rng(seed)
+    waveforms, payloads, true_starts = [], [], []
+    for _ in range(num_packets):
+        channel = scenario.make_channel(scenario_rng)
+        interferer = scenario.make_interferer(scenario_rng)
+        payload = rng.integers(0, 2, payload_bits)
+        lead_in_s = (float(rng.integers(4, 25))
+                     * transceiver.config.pulse_repetition_interval_s)
+        tx = transceiver.transmitter.transmit(payload, lead_in_s=lead_in_s,
+                                              lead_out_s=2e-8)
+        waveform = transceiver._apply_channel(tx.waveform, channel,
+                                              tx.sample_rate_hz)
+        waveform = transceiver._apply_impairments(waveform, rng)
+        if interferer is not None:
+            if accepts_rng(interferer, "add_to"):
+                waveform = interferer.add_to(waveform, tx.sample_rate_hz,
+                                             rng=rng)
+            else:
+                waveform = interferer.add_to(waveform, tx.sample_rate_hz)
+        noise_std = noise_std_for_ebn0(tx.energy_per_body_bit(), ebn0_db)
+        waveform = awgn(waveform, noise_std, rng=rng)
+        waveforms.append(waveform)
+        payloads.append(payload)
+        true_starts.append(tx.preamble_start_sample
+                           // transceiver.config.decimation_factor)
+    return waveforms, payloads, true_starts
+
+
+class TestSharedWaveformParity:
+    """Same waveforms in, same bit decisions out — packet by packet."""
+
+    @pytest.mark.parametrize("scenario", ["awgn", "cm1", "narrowband"])
+    def test_receive_batch_matches_per_packet_receive(self, scenario):
+        transceiver = _build_transceiver("gen2")
+        waveforms, payloads, true_starts = _shared_waveform_set(
+            transceiver, scenario, num_packets=12, seed=101)
+
+        # The ADC draws from the rng per packet in order; identically
+        # seeded streams line those draws up between the two paths.
+        shared_rng = np.random.default_rng(55)
+        per_packet = [transceiver.receiver.receive(waveform, rng=shared_rng)
+                      for waveform in waveforms]
+        batched = BatchedFullStackModel(transceiver).receive_batch(
+            waveforms, rng=np.random.default_rng(55))
+        assert len(batched) == len(per_packet)
+        for index, (single, batch) in enumerate(zip(per_packet, batched)):
+            assert single.detected == batch.detected, f"packet {index}"
+            assert (single.acquisition.timing_offset_samples
+                    == batch.acquisition.timing_offset_samples), \
+                f"packet {index}"
+            assert single.crc_ok == batch.crc_ok, f"packet {index}"
+            assert np.array_equal(single.payload_bits, batch.payload_bits), \
+                f"packet {index}"
+            assert np.array_equal(single.body_bits, batch.body_bits), \
+                f"packet {index}"
+
+    def test_channel_estimates_bitwise_identical(self):
+        """The 4-bit-quantized taps must match *bitwise*: selective-RAKE
+        finger selection breaks magnitude ties by array order, so even a
+        one-ulp tap difference could pick different fingers."""
+        transceiver = _build_transceiver("gen2")
+        waveforms, _, _ = _shared_waveform_set(transceiver, "cm1",
+                                               num_packets=8, seed=303)
+        shared_rng = np.random.default_rng(9)
+        per_packet = [transceiver.receiver.receive(waveform, rng=shared_rng)
+                      for waveform in waveforms]
+        batched = BatchedFullStackModel(transceiver).receive_batch(
+            waveforms, rng=np.random.default_rng(9))
+        for index, (single, batch) in enumerate(zip(per_packet, batched)):
+            if single.channel_estimate is None:
+                assert batch.channel_estimate is None
+                continue
+            assert np.array_equal(single.channel_estimate.taps,
+                                  batch.channel_estimate.taps), \
+                f"packet {index}"
+
+
+class TestEnginePointParity:
+    """backend='fullstack' measures exactly what backend='packet' measures."""
+
+    @pytest.mark.parametrize("generation,scenario,ebn0_db", [
+        ("gen2", "awgn", 0.0),
+        ("gen2", "awgn", 8.0),
+        ("gen2", "cm1", 2.0),
+        ("gen2", "cm1", 6.0),
+        ("gen2", "narrowband", 4.0),
+        ("gen1", "cm1", 6.0),
+        ("gen1", "awgn", 2.0),
+    ])
+    def test_identical_error_counts_per_packet(self, generation, scenario,
+                                               ebn0_db):
+        grid = sweep_grid([ebn0_db], scenarios=(scenario,))
+        results = {}
+        for backend in ("packet", "fullstack"):
+            engine = SweepEngine(generation=generation, seed=11,
+                                 backend=backend)
+            results[backend] = engine.run(grid, num_packets=12,
+                                          payload_bits_per_packet=48,
+                                          collect_errors_per_packet=True)
+        (point, packet), (_, fullstack) = (results["packet"].entries[0],
+                                           results["fullstack"].entries[0])
+        assert packet.bit_errors == fullstack.bit_errors
+        assert packet.total_bits == fullstack.total_bits
+        assert packet.packets_sent == fullstack.packets_sent
+        assert packet.packets_failed == fullstack.packets_failed
+        assert (results["packet"].errors_per_packet[point]
+                == results["fullstack"].errors_per_packet[point])
+
+    def test_parity_with_mlse_and_deep_rake(self):
+        """The gen-2 default back end (MLSE demodulation, deeper RAKE)
+        routes through the batched MLSE trellis; decisions must still
+        match the per-packet equalizer."""
+        config = Gen2Config.fast_test_config().with_changes(
+            use_mlse=True, rake_fingers=8, channel_estimate_taps=64)
+        grid = sweep_grid([4.0], scenarios=("cm1",))
+        results = {}
+        for backend in ("packet", "fullstack"):
+            engine = SweepEngine(config=config, generation="gen2", seed=5,
+                                 backend=backend)
+            results[backend] = engine.run(grid, num_packets=10,
+                                          payload_bits_per_packet=96,
+                                          collect_errors_per_packet=True)
+        (point, packet), (_, fullstack) = (results["packet"].entries[0],
+                                           results["fullstack"].entries[0])
+        assert packet.bit_errors == fullstack.bit_errors
+        assert (results["packet"].errors_per_packet[point]
+                == results["fullstack"].errors_per_packet[point])
+
+    def test_fullstack_caches_under_distinct_digest(self):
+        """Fullstack measurements must never collide with packet/batch
+        cache entries: the engine digest carries a dedicated component."""
+        digests = {backend: SweepEngine(seed=1,
+                                        backend=backend).config_digest()
+                   for backend in ("batch", "packet", "fullstack")}
+        assert len(set(digests.values())) == 3
+
+
+@pytest.mark.slow
+class TestStatisticalAgreement:
+    """Above the synchronization cliff the full stack converges to the
+    genie kernel's BER (3-sigma, pooled binomial) on a small gen-1 grid."""
+
+    def test_gen1_grid_tracks_genie_within_three_sigma(self):
+        # Gen-1's synchronization cliff sits higher than gen-2's: below
+        # ~12 dB whole packets are lost to header failures and the
+        # genie-vs-full-stack gap is real (that gap is the point of the
+        # fullstack backend); compare where acquisition is reliable.
+        grid = sweep_grid([13.0, 14.0], scenarios=("awgn",))
+        num_packets, payload = 160, 64
+        fullstack = SweepEngine(generation="gen1", seed=21,
+                                backend="fullstack").run(
+            grid, num_packets=num_packets,
+            payload_bits_per_packet=payload)
+        genie = SweepEngine(generation="gen1", seed=21,
+                            backend="batch").run(
+            grid, num_packets=num_packets,
+            payload_bits_per_packet=payload)
+        for (point, full), (_, fast) in zip(fullstack.entries,
+                                            genie.entries):
+            total = full.total_bits + fast.total_bits
+            pooled = (full.bit_errors + fast.bit_errors) / total
+            sigma = np.sqrt(max(pooled * (1 - pooled), 1e-9)
+                            / full.total_bits)
+            # A lost packet moves the measured BER by payload/total_bits;
+            # allow one on top of the binomial band.
+            tolerance = 3.0 * sigma + payload / full.total_bits
+            assert abs(full.ber - fast.ber) <= tolerance, point
+
+
+class TestAcquisitionProperty:
+    """Randomized (hypothesis-style, fixed seeds) acquisition property:
+    for random true offsets and SNRs, the batched search returns exactly
+    the per-packet decisions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_batched_acquisition_matches_per_packet_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        template = rng.standard_normal(96)
+        acquisition = CoarseAcquisition(
+            template,
+            AcquisitionConfig(
+                threshold=float(rng.uniform(0.2, 0.6)),
+                search_step_samples=int(rng.integers(1, 4)),
+                max_search_samples=(None if rng.random() < 0.5
+                                    else int(rng.integers(100, 400)))))
+        rows, lengths = [], []
+        for _ in range(16):
+            num_samples = int(rng.integers(150, 700))
+            snr_scale = float(10.0 ** rng.uniform(-1.5, 0.5))
+            row = rng.standard_normal(num_samples)
+            if num_samples > template.size and rng.random() < 0.8:
+                offset = int(rng.integers(0, num_samples - template.size))
+                row[offset:offset + template.size] += template / snr_scale
+            rows.append(row)
+            lengths.append(num_samples)
+        width = max(lengths)
+        batch = np.zeros((len(rows), width))
+        for index, row in enumerate(rows):
+            batch[index, :row.size] = row
+        batched = acquisition.acquire_batch(batch, valid_lengths=lengths)
+        for index, row in enumerate(rows):
+            single = acquisition.acquire(row)
+            result = batched.result_for(index)
+            assert single.detected == result.detected, (seed, index)
+            assert (single.timing_offset_samples
+                    == result.timing_offset_samples), (seed, index)
+            assert (single.num_hypotheses_searched
+                    == result.num_hypotheses_searched), (seed, index)
+            assert single.search_time_s == pytest.approx(
+                result.search_time_s, abs=0.0), (seed, index)

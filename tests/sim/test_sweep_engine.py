@@ -155,6 +155,40 @@ class TestBatchedVersusPerPacket:
             engine.run([SweepPoint(ebn0_db=8.0, modulation="ook")],
                        num_packets=1)
 
+    @pytest.mark.parametrize("backend", ["packet", "fullstack"])
+    def test_full_stack_backends_reject_non_bpsk_before_simulating(
+            self, engine_factory, backend):
+        """The BPSK-only error fires when the grid is submitted — before
+        any point is measured — with an actionable message, from every
+        grid entry point.  (Historically it surfaced deep inside
+        measure_point, after the BPSK prefix of the grid had already been
+        simulated.)"""
+        engine = engine_factory(backend=backend)
+        grid = [SweepPoint(ebn0_db=8.0, modulation="bpsk"),
+                SweepPoint(ebn0_db=8.0, modulation="ook"),
+                SweepPoint(ebn0_db=8.0, modulation="pam4")]
+        seen = []
+        with pytest.raises(ValueError) as excinfo:
+            engine.run(grid, num_packets=1,
+                       on_result=lambda point, measurement:
+                       seen.append(point))
+        message = str(excinfo.value)
+        assert "BPSK-only" in message
+        assert backend in message
+        assert "ook" in message and "pam4" in message
+        assert "backend='batch'" in message
+        assert seen == [], "validation must precede any simulation"
+        with pytest.raises(ValueError, match="BPSK-only"):
+            engine.measure_point(grid[1], num_packets=1)
+        with pytest.raises(ValueError, match="BPSK-only"):
+            engine.measure_points([(grid[1], 1, 0)])
+
+    def test_batch_backend_accepts_non_bpsk_grids(self, engine_factory):
+        engine = engine_factory(backend="batch")
+        result = engine.run([SweepPoint(ebn0_db=8.0, modulation="ook")],
+                            num_packets=2, payload_bits_per_packet=8)
+        assert result.entries[0][1].total_bits == 16
+
 
 class TestBatchedKernel:
     def test_tracks_theory_without_quantization(self, engine_factory):
