@@ -142,6 +142,80 @@ class TimeInterleavedADC:
                 adc.convert(samples[slice_index::self.num_slices])
         return output
 
+    def convert_presampled_batch(self, samples, backend=None) -> np.ndarray:
+        """Convert a batch of already-sampled streams in one pass per slice.
+
+        The batched form of :meth:`convert_presampled`: ``samples`` is
+        ``(..., num_samples)`` (typically ``(packets, samples)``) and the
+        slice round-robin is preserved exactly — position ``i`` of every
+        row is converted by slice ``i % num_slices``, so each row's codes
+        are bitwise what :meth:`convert_presampled` would have produced
+        for it.  ``backend`` routes the conversion and the re-interleave
+        through an :class:`~repro.sim.backends.ArrayBackend` (``None`` =
+        the NumPy reference, used by the per-packet oracle).
+        """
+        if backend is None:
+            from repro.sim.backends import reference_backend
+            backend = reference_backend()
+        samples = backend.asarray(samples, dtype=float)
+        parts = [adc.convert(samples[..., index::self.num_slices],
+                             backend=backend)
+                 for index, adc in enumerate(self.slices)]
+        return backend.interleave_streams(parts, int(samples.shape[-1]))
+
+    def sample_and_convert_batch(self, waveforms, waveform_rate_hz: float,
+                                 rng: np.random.Generator | None = None,
+                                 backend=None) -> np.ndarray:
+        """Sample and convert a batch of equal-length analog waveforms.
+
+        Equivalent to stacking ``[self.sample_and_convert(w, rate, rng=rng)
+        for w in waveforms]`` — the jittered sampling instants consume
+        ``rng`` in exactly that per-waveform, per-slice order, so a seeded
+        batch is bitwise identical to the loop — but every slice's flash
+        conversion runs once over the whole ``(packets, slice_samples)``
+        matrix instead of once per packet.  ``waveforms`` must be a 2-D
+        ``(packets, num_samples)`` array (equal lengths; pad upstream if
+        needed).
+        """
+        require_positive(waveform_rate_hz, "waveform_rate_hz")
+        waveforms = np.asarray(waveforms, dtype=float)
+        if waveforms.ndim != 2:
+            raise ValueError("sample_and_convert_batch expects a 2-D "
+                             "(packets, num_samples) batch; use "
+                             "sample_and_convert() for a single waveform")
+        if rng is None:
+            rng = np.random.default_rng()
+        if backend is None:
+            from repro.sim.backends import reference_backend
+            backend = reference_backend()
+        num_packets = waveforms.shape[0]
+        duration = waveforms.shape[1] / waveform_rate_hz
+        total_samples = int(np.floor(duration * self.aggregate_rate_hz))
+        aggregate_period = 1.0 / self.aggregate_rate_hz
+        clocks = []
+        slice_counts = []
+        for slice_index in range(self.num_slices):
+            skew = (self.timing_skew_s[slice_index]
+                    if self.timing_skew_s is not None else 0.0)
+            clocks.append(SamplingClock(sample_rate_hz=self.per_slice_rate_hz,
+                                        rms_jitter_s=self.rms_jitter_s,
+                                        skew_s=skew))
+            slice_counts.append(len(range(slice_index, total_samples,
+                                          self.num_slices)))
+        analog = [np.empty((num_packets, count)) for count in slice_counts]
+        # The sampling (jitter draws + interpolation) loops per packet to
+        # keep the rng stream order of the per-packet method; only the
+        # flash conversion below is batched — it dominates the cost.
+        for packet in range(num_packets):
+            for slice_index, clock in enumerate(clocks):
+                analog[slice_index][packet] = clock.sample_waveform(
+                    waveforms[packet], waveform_rate_hz,
+                    num_samples=slice_counts[slice_index], rng=rng,
+                    start_time_s=slice_index * aggregate_period)
+        parts = [adc.convert(backend.asarray(analog[index]), backend=backend)
+                 for index, adc in enumerate(self.slices)]
+        return backend.interleave_streams(parts, total_samples)
+
     def parallel_streams(self, samples) -> list[np.ndarray]:
         """Return the per-slice (already parallelized) converted streams.
 

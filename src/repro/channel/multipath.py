@@ -16,7 +16,12 @@ import numpy as np
 from repro.utils import dsp
 from repro.utils.validation import require_positive
 
-__all__ = ["MultipathChannel", "two_ray_channel", "exponential_decay_channel"]
+__all__ = [
+    "MultipathChannel",
+    "apply_channels_batch",
+    "two_ray_channel",
+    "exponential_decay_channel",
+]
 
 
 @dataclass
@@ -57,6 +62,7 @@ class MultipathChannel:
     # ------------------------------------------------------------------
     @property
     def num_rays(self) -> int:
+        """Number of discrete rays in the channel."""
         return int(self.delays_s.size)
 
     def total_power(self) -> float:
@@ -187,6 +193,97 @@ class MultipathChannel:
         gains = (self.gains[:, None] * other.gains[None, :]).ravel()
         return MultipathChannel(delays, gains,
                                 name=f"{self.name}+{other.name}")
+
+
+def apply_channels_batch(channels, signals, sample_rate_hz: float,
+                         valid_lengths=None, backend=None) -> np.ndarray:
+    """Apply one channel per row of a padded waveform batch in one FFT pass.
+
+    Where :meth:`MultipathChannel.apply_batch` pushes many waveforms
+    through a *single* channel, this is the Monte-Carlo front-end shape:
+    ``signals`` is a zero-padded ``(packets, num_samples)`` batch and
+    ``channels`` holds one :class:`MultipathChannel` (or ``None`` for a
+    clean link) per row.  Every per-row impulse response is assembled on
+    the host (O(taps)), zero-padded to a common tap count, and the whole
+    batch convolves in a single broadcast FFT pass on ``backend``
+    (``None`` = the NumPy reference).  Rows whose channel is ``None``
+    pass through bitwise untouched, exactly like the per-packet flow
+    that skips ``channel.apply`` for them.
+
+    ``valid_lengths`` gives each row's real sample count; convolved rows
+    are zeroed beyond it, dropping the convolution energy that leaked
+    into the padding region (samples a per-packet receive buffer of that
+    length would never have captured).  Rows without a channel are
+    passed through untouched — including their padding, which the
+    zero-padded batches this function is built for already keep clean —
+    and when *no* row has a channel the input array itself is returned
+    (no copy).  The output dtype is complex when the signals or any ray
+    gain are complex, real otherwise (so the carrier-free gen-1 path
+    keeps its real-FFT convolution).
+
+    On the NumPy backend the batch convolves in row chunks sized to stay
+    cache-resident — every row's FFT length is fixed by the *global*
+    padded width and tap count, so the chunking changes nothing, not
+    even at the last ulp, while avoiding the memory-bound giant-batch
+    transform.
+    """
+    from repro.sim.backends import NumpyBackend, get_backend, reference_backend
+    backend = (reference_backend() if backend is None
+               else get_backend(backend))
+    signals = np.asarray(signals)
+    if signals.ndim != 2:
+        raise ValueError("apply_channels_batch expects a (packets, "
+                         "num_samples) batch")
+    channels = list(channels)
+    if len(channels) != signals.shape[0]:
+        raise ValueError("need exactly one channel (or None) per batch row; "
+                         f"got {len(channels)} channels for "
+                         f"{signals.shape[0]} rows")
+    width = int(signals.shape[1])
+    with_channel = [index for index, channel in enumerate(channels)
+                    if channel is not None]
+    if not with_channel:
+        return signals
+    responses = [channels[index].discrete_impulse_response(sample_rate_hz)
+                 for index in with_channel]
+    is_complex = (np.iscomplexobj(signals)
+                  or any(np.iscomplexobj(response) for response in responses))
+    taps_width = max(response.size for response in responses)
+    kernels = np.zeros((len(with_channel), taps_width),
+                       dtype=complex if is_complex else float)
+    for row, response in enumerate(responses):
+        kernels[row, :response.size] = response
+    lengths = (None if valid_lengths is None
+               else np.asarray(valid_lengths, dtype=np.int64))
+
+    # Convolved rows are rewritten wholesale, so the output starts empty
+    # and only rows *without* a channel copy over from the input (the
+    # input batch itself is never written to).
+    out = np.empty((signals.shape[0], width),
+                   dtype=complex if is_complex else signals.dtype)
+    in_channel = set(with_channel)
+    for index in range(signals.shape[0]):
+        if index not in in_channel:
+            out[index] = signals[index]
+    if type(backend) is NumpyBackend:
+        # Row-chunked convolution: each chunk's FFT length is the same
+        # global (width + taps_width - 1), so results are bitwise those
+        # of the one-shot batch call, minus its cache-hostile footprint.
+        chunk = max(1, (1 << 19) // max(width, 1))
+        for start in range(0, len(with_channel), chunk):
+            rows = with_channel[start:start + chunk]
+            convolved = backend.fftconvolve_full(
+                signals[rows], kernels[start:start + chunk])[:, :width]
+            out[rows] = convolved
+    else:
+        convolved = backend.to_numpy(backend.fftconvolve_full(
+            backend.asarray(signals[with_channel]),
+            backend.asarray(kernels)))[:, :width]
+        out[with_channel] = convolved
+    if lengths is not None:
+        for index in with_channel:
+            out[index, lengths[index]:] = 0.0
+    return out
 
 
 def two_ray_channel(delay_s: float, relative_gain_db: float = -3.0,

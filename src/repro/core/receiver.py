@@ -156,11 +156,13 @@ class _PulsedReceiver:
         """Analog waveform -> quantized ADC-rate stream (+ interferer report).
 
         The front half of :meth:`receive` — decimation, AGC, ADC
-        conversion, and the spectral-monitor/digital-notch control loop —
-        shared verbatim with the batched full-stack receiver
-        (:class:`repro.sim.batch_rx.BatchedFullStackModel`), which runs it
-        per packet and batches everything downstream.  Returns
-        ``(samples, interferer_report)``.
+        conversion, and the spectral-monitor/digital-notch control loop.
+        This is the per-packet reference the batched full-stack receiver
+        (:class:`repro.sim.batch_rx.BatchedFullStackModel`) is pinned
+        against: both generations now have whole-batch equivalents of the
+        decimate/AGC/ADC chain, and configurations outside those fast
+        paths (e.g. the closed-loop notch) run this method in a loop.
+        Returns ``(samples, interferer_report)``.
         """
         if rng is None:
             rng = np.random.default_rng()

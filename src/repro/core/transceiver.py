@@ -154,8 +154,11 @@ class _Transceiver:
         around this transceiver instance (same transmitter, receiver and
         hardware-seeded ADC), so batched Monte-Carlo runs are
         bit-decision-identical to repeating :meth:`simulate_packet` with
-        the same random streams.  ``array_backend`` selects the array
-        backend the batched receive stages run on.
+        the same random streams.  Both generations batch end to end:
+        the gen-2 SAR front and the gen-1 4 GHz interleaved-flash front
+        each have whole-batch transmit/channel/AGC/ADC passes.
+        ``array_backend`` selects the array backend the batched stages
+        run on.
         """
         from repro.sim.batch_rx import BatchedFullStackModel
         return BatchedFullStackModel(self, backend=array_backend)

@@ -28,7 +28,8 @@ from repro.pulses.shapes import (
 from repro.pulses.train import PulseTrainConfig, PulseTrainGenerator
 from repro.utils import dsp
 
-__all__ = ["TransmitOutput", "Gen1Transmitter", "Gen2Transmitter"]
+__all__ = ["TransmitOutput", "TransmitBatch", "Gen1Transmitter",
+           "Gen2Transmitter"]
 
 
 @dataclass(frozen=True)
@@ -47,10 +48,12 @@ class TransmitOutput:
 
     @property
     def num_samples(self) -> int:
+        """Length of the transmit waveform in samples."""
         return int(self.waveform.size)
 
     @property
     def duration_s(self) -> float:
+        """On-air duration of the transmission."""
         return self.num_samples / self.sample_rate_hz
 
     def energy_per_body_bit(self) -> float:
@@ -60,6 +63,49 @@ class TransmitOutput:
                              + self.num_body_symbols * self.samples_per_symbol]
         num_bits = max(self.packet.body_bits.size, 1)
         return dsp.signal_energy(body) / num_bits
+
+
+@dataclass(frozen=True)
+class TransmitBatch:
+    """A zero-padded batch of transmissions, one packet per row.
+
+    Produced by :meth:`_PulsedTransmitter.transmit_batch`; row ``i`` of
+    ``waveforms`` holds the first ``lengths[i]`` samples of what
+    :meth:`_PulsedTransmitter.transmit` would have emitted for packet
+    ``i`` (bitwise — the batch synthesis broadcasts the same elementwise
+    pulse placement), zero-padded to the widest packet.
+    """
+
+    waveforms: np.ndarray
+    lengths: np.ndarray
+    sample_rate_hz: float
+    packets: tuple
+    pulse: Pulse
+    preamble_start_samples: np.ndarray
+    body_start_samples: np.ndarray
+    num_body_symbols: int
+    samples_per_symbol: int
+    samples_per_chip: int
+    energies_per_body_bit: np.ndarray
+
+    @property
+    def num_packets(self) -> int:
+        """Number of transmissions in the batch."""
+        return int(self.waveforms.shape[0])
+
+    def output_for(self, index: int) -> TransmitOutput:
+        """Materialize one row as a standalone :class:`TransmitOutput`."""
+        return TransmitOutput(
+            waveform=self.waveforms[index, :self.lengths[index]].copy(),
+            sample_rate_hz=self.sample_rate_hz,
+            packet=self.packets[index],
+            pulse=self.pulse,
+            preamble_start_sample=int(self.preamble_start_samples[index]),
+            body_start_sample=int(self.body_start_samples[index]),
+            num_body_symbols=self.num_body_symbols,
+            samples_per_symbol=self.samples_per_symbol,
+            samples_per_chip=self.samples_per_chip,
+        )
 
 
 class _PulsedTransmitter:
@@ -100,7 +146,16 @@ class _PulsedTransmitter:
         and after the packet (the receiver does not know where the packet
         starts — that is acquisition's job).
         """
-        packet = self.builder.build(payload_bits)
+        return self._transmit_built(self.builder.build(payload_bits),
+                                    lead_in_s=lead_in_s,
+                                    lead_out_s=lead_out_s,
+                                    amplitude=amplitude)
+
+    def _transmit_built(self, packet, lead_in_s: float = 0.0,
+                        lead_out_s: float = 0.0,
+                        amplitude: float = 1.0) -> TransmitOutput:
+        """:meth:`transmit` for a packet that is already built (so batch
+        callers that built packets early never build them twice)."""
         preamble_train = self._chip_generator.generate_from_symbols(
             packet.preamble_symbols)
         body_symbols = self.modulator.modulate(packet.body_bits)
@@ -128,6 +183,150 @@ class _PulsedTransmitter:
             num_body_symbols=int(body_symbols.size),
             samples_per_symbol=self.samples_per_symbol,
             samples_per_chip=self.samples_per_chip,
+        )
+
+    def num_transmit_samples(self, packet, lead_in_s: float = 0.0,
+                             lead_out_s: float = 0.0) -> int:
+        """Sample count :meth:`transmit` would emit for a built packet.
+
+        Lets batched front ends size per-packet random draws (interferer
+        symbols, noise samples) *before* any waveform is synthesized —
+        the key to consuming seeded streams in per-packet order while the
+        synthesis itself runs as one batch.
+        """
+        sample_rate = self.pulse.sample_rate_hz
+        lead_in = int(round(lead_in_s * sample_rate))
+        lead_out = int(round(lead_out_s * sample_rate))
+        preamble = packet.preamble_symbols.size * self.samples_per_chip
+        body = (self.modulator.num_symbols(packet.body_bits.size)
+                * self.samples_per_symbol)
+        return lead_in + preamble + body + lead_out
+
+    def transmit_batch(self, payloads, lead_in_s, lead_out_s: float = 0.0,
+                       amplitude: float = 1.0,
+                       packets=None) -> TransmitBatch:
+        """Build a whole batch of transmit waveforms in one array pass.
+
+        The batched form of :meth:`transmit`: ``payloads`` holds one
+        equal-length payload per packet and ``lead_in_s`` a scalar or
+        per-packet lead-in.  The preamble waveform is synthesized once
+        (it is payload-independent) and every body rides through
+        :meth:`~repro.pulses.train.PulseTrainGenerator
+        .generate_batch_from_symbols`, so row ``i`` of the result is
+        bitwise what ``transmit(payloads[i], ...)`` would have produced
+        — pinned by the full-stack parity suite.  Configurations the
+        grid fast path cannot express (time hopping, position
+        modulation) fall back to per-packet synthesis into the same
+        container.  ``packets`` may pass packets already built from the
+        payloads (callers that needed the lengths early); otherwise they
+        are built here.
+        """
+        payloads = [np.asarray(bits, dtype=np.int64) for bits in payloads]
+        num_packets = len(payloads)
+        if num_packets == 0:
+            raise ValueError("transmit_batch needs at least one payload")
+        if packets is None:
+            packets = [self.builder.build(bits) for bits in payloads]
+        packets = list(packets)
+        if len(packets) != num_packets:
+            raise ValueError("packets must match payloads one to one")
+        sample_rate = self.pulse.sample_rate_hz
+        lead_in_s = np.broadcast_to(np.asarray(lead_in_s, dtype=float),
+                                    (num_packets,))
+        lead_ins = np.rint(lead_in_s * sample_rate).astype(np.int64)
+        lead_out = int(round(lead_out_s * sample_rate))
+
+        body_symbol_rows = [self.modulator.modulate(packet.body_bits)
+                            for packet in packets]
+        num_body_symbols = int(body_symbol_rows[0].size)
+        same_shape = (
+            all(row.size == num_body_symbols for row in body_symbol_rows)
+            and all(np.array_equal(packet.preamble_symbols,
+                                   packets[0].preamble_symbols)
+                    for packet in packets[1:]))
+        body_batch = None
+        if same_shape:
+            body_batch = self._bit_generator.generate_batch_from_symbols(
+                np.stack(body_symbol_rows))
+        if body_batch is None:
+            # Uneven bodies or a non-grid waveform: synthesize per packet
+            # from the already-built packets (identical output, just
+            # without the batched multiply).
+            outputs = [self._transmit_built(packet, lead_in_s=float(lead),
+                                            lead_out_s=lead_out_s,
+                                            amplitude=amplitude)
+                       for packet, lead in zip(packets, lead_in_s)]
+            return self._batch_from_outputs(outputs)
+
+        preamble_wave = self._chip_generator.generate_from_symbols(
+            packets[0].preamble_symbols).waveform
+        is_complex = np.iscomplexobj(self.pulse.waveform)
+        dtype = complex if is_complex else float
+        preamble_wave = np.asarray(preamble_wave, dtype=dtype)
+        body_batch = np.asarray(body_batch, dtype=dtype)
+        if amplitude != 1.0:
+            # Scaling by exactly 1.0 is the identity on every float, so
+            # the default skips the two full-batch multiply passes.
+            preamble_wave = preamble_wave * amplitude
+            body_batch = body_batch * amplitude
+
+        preamble_len = preamble_wave.size
+        body_len = body_batch.shape[1]
+        lengths = lead_ins + preamble_len + body_len + lead_out
+        width = int(lengths.max())
+        waveforms = np.zeros((num_packets, width), dtype=dtype)
+        body_starts = lead_ins + preamble_len
+        for index in range(num_packets):
+            start = int(lead_ins[index])
+            waveforms[index, start:start + preamble_len] = preamble_wave
+            body_start = start + preamble_len
+            waveforms[index, body_start:body_start + body_len] = \
+                body_batch[index]
+
+        num_bits = max(packets[0].body_bits.size, 1)
+        energies = np.sum(np.abs(body_batch) ** 2, axis=-1) / num_bits
+        return TransmitBatch(
+            waveforms=waveforms,
+            lengths=lengths,
+            sample_rate_hz=sample_rate,
+            packets=tuple(packets),
+            pulse=self.pulse,
+            preamble_start_samples=lead_ins,
+            body_start_samples=body_starts,
+            num_body_symbols=num_body_symbols,
+            samples_per_symbol=self.samples_per_symbol,
+            samples_per_chip=self.samples_per_chip,
+            energies_per_body_bit=energies,
+        )
+
+    def _batch_from_outputs(self, outputs) -> TransmitBatch:
+        """Pack per-packet :class:`TransmitOutput` rows into a batch."""
+        lengths = np.asarray([output.num_samples for output in outputs],
+                             dtype=np.int64)
+        width = int(lengths.max())
+        is_complex = any(np.iscomplexobj(output.waveform)
+                         for output in outputs)
+        waveforms = np.zeros((len(outputs), width),
+                             dtype=complex if is_complex else float)
+        for index, output in enumerate(outputs):
+            waveforms[index, :lengths[index]] = output.waveform
+        return TransmitBatch(
+            waveforms=waveforms,
+            lengths=lengths,
+            sample_rate_hz=outputs[0].sample_rate_hz,
+            packets=tuple(output.packet for output in outputs),
+            pulse=self.pulse,
+            preamble_start_samples=np.asarray(
+                [output.preamble_start_sample for output in outputs],
+                dtype=np.int64),
+            body_start_samples=np.asarray(
+                [output.body_start_sample for output in outputs],
+                dtype=np.int64),
+            num_body_symbols=outputs[0].num_body_symbols,
+            samples_per_symbol=outputs[0].samples_per_symbol,
+            samples_per_chip=outputs[0].samples_per_chip,
+            energies_per_body_bit=np.asarray(
+                [output.energy_per_body_bit() for output in outputs]),
         )
 
 

@@ -77,10 +77,12 @@ class PulseTrain:
 
     @property
     def num_symbols(self) -> int:
+        """Number of modulation symbols in the train."""
         return int(self.symbols.size)
 
     @property
     def duration_s(self) -> float:
+        """Duration of the sampled waveform."""
         return self.waveform.size / self.sample_rate_hz
 
     def samples_per_symbol(self) -> int:
@@ -203,6 +205,56 @@ class PulseTrainGenerator:
                           sample_rate_hz=self.pulse.sample_rate_hz,
                           config=self.config, symbols=symbols.copy(),
                           pulse=self.pulse)
+
+    def generate_batch_from_symbols(self, symbols_batch) -> np.ndarray | None:
+        """Vectorized waveform synthesis for a whole batch of symbol rows.
+
+        ``symbols_batch`` is ``(num_trains, num_symbols)``; the return is
+        the ``(num_trains, num_symbols * samples_per_symbol)`` sampled
+        waveform batch — row ``i`` bitwise equal to
+        ``generate_from_symbols(symbols_batch[i]).waveform``, because the
+        placement is the same broadcast multiply
+        :meth:`_place_amplitude_grid` performs, with the batch axis in
+        front.  Only the amplitude-on-the-PRI-grid fast path batches:
+        time hopping, position modulation, or grid rounding jitter return
+        ``None`` so callers fall back to the per-train loop (exactly when
+        the single-train generator would fall back too).
+        """
+        symbols_batch = np.asarray(symbols_batch)
+        if symbols_batch.ndim != 2:
+            raise ValueError("generate_batch_from_symbols expects a "
+                             "(num_trains, num_symbols) batch")
+        if self.config.time_hopping_codes \
+                or self.modulator.position_offsets is not None:
+            return None
+        num_trains, num_symbols = symbols_batch.shape
+        reps = self.config.pulses_per_symbol
+        num_pulses = num_symbols * reps
+        is_complex = np.iscomplexobj(self.pulse.waveform)
+        dtype = complex if is_complex else float
+        if num_pulses == 0:
+            return np.zeros((num_trains, 0), dtype=dtype)
+        start_times = (np.arange(num_symbols, dtype=float)[:, None]
+                       * self.config.symbol_duration_s
+                       + np.arange(reps, dtype=float)[None, :]
+                       * self.config.pulse_repetition_interval_s)
+        starts = np.rint(start_times.ravel()
+                         * self.pulse.sample_rate_hz).astype(np.int64)
+        nominal = np.arange(num_pulses, dtype=np.int64) * self._samples_per_pri
+        if not np.array_equal(starts, nominal):
+            return None
+        amplitudes = np.asarray(
+            self.modulator.symbols_to_amplitudes(symbols_batch))
+        if amplitudes.shape != symbols_batch.shape:
+            # Modulators whose amplitude map is not elementwise cannot
+            # broadcast over the batch axis; fall back to the loop.
+            return None
+        batch = np.zeros((num_trains, num_pulses, self._samples_per_pri),
+                         dtype=dtype)
+        amp = np.repeat(amplitudes, reps, axis=1)
+        batch[:, :, :self.pulse.num_samples] = (amp[:, :, None]
+                                                * self.pulse.waveform)
+        return batch.reshape(num_trains, num_pulses * self._samples_per_pri)
 
     def generate_from_bits(self, bits) -> PulseTrain:
         """Modulate bits and build the corresponding pulse train."""

@@ -177,8 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "genie-timed kernel, 'fullstack' the batched "
                             "full receiver chain (real acquisition/channel "
                             "estimation/RAKE, bit-decision-identical to "
-                            "'packet'), 'packet' the per-packet reference "
-                            "stack (default: batch)")
+                            "'packet'; batches end to end for both "
+                            "generations, including the gen-1 interleaved-"
+                            "flash front end), 'packet' the per-packet "
+                            "reference stack (default: batch)")
     sweep.add_argument("--array-backend",
                        choices=("numpy", "cupy", "jax"), default=None,
                        help="array backend the batch kernel runs on "

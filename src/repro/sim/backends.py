@@ -164,6 +164,38 @@ class ArrayBackend:
                  + self.asarray(np.arange(length, dtype=np.int64)))
         return xp.take_along_axis(samples[..., None, :], index, axis=-1)
 
+    def interleave_streams(self, parts, width: int):
+        """Round-robin merge of per-slice streams along the last axis.
+
+        The inverse of the strided de-interleave ``samples[..., k::N]``:
+        given ``N`` arrays ``parts`` (slice ``k`` holding the samples at
+        positions ``k, k + N, k + 2N, ...``), produce the ``(..., width)``
+        aggregate stream with ``out[..., k::N] == parts[k]``.  Slice
+        lengths may differ by one when ``width`` is not a multiple of
+        ``N`` (exactly the ``range(k, width, N)`` counts).  This is the
+        primitive the batched time-interleaved ADC uses to reassemble its
+        converted slice streams.  The generic implementation stacks and
+        reshapes (pure array ops, so it runs on any backend); NumPy
+        overrides it with a strided in-place scatter.
+        """
+        xp = self.xp
+        num_slices = len(parts)
+        if num_slices == 0:
+            raise ValueError("interleave_streams needs at least one stream")
+        if num_slices == 1:
+            return parts[0][..., :width]
+        full = -(-width // num_slices)
+        padded = []
+        for part in parts:
+            short = full - int(part.shape[-1])
+            if short:
+                pad = xp.zeros(part.shape[:-1] + (short,), dtype=part.dtype)
+                part = xp.concatenate((part, pad), axis=-1)
+            padded.append(part)
+        stacked = xp.stack(padded, axis=-1)
+        merged = stacked.reshape(stacked.shape[:-2] + (full * num_slices,))
+        return merged[..., :width]
+
     def quantize_uniform(self, samples, bits: int, full_scale: float):
         """Mid-rise uniform quantization with saturation (the batch ADC).
 
@@ -243,6 +275,21 @@ class NumpyBackend(ArrayBackend):
         batch_index = np.arange(samples.shape[0])
         batch_index = batch_index.reshape((-1,) + (1,) * (starts.ndim - 1))
         return view[batch_index, starts]
+
+    def interleave_streams(self, parts, width: int):
+        """Strided scatter into a preallocated output (no stacked temp)."""
+        parts = [np.asarray(part) for part in parts]
+        num_slices = len(parts)
+        if num_slices == 0:
+            raise ValueError("interleave_streams needs at least one stream")
+        if num_slices == 1:
+            return parts[0][..., :width]
+        out = np.empty(parts[0].shape[:-1] + (width,),
+                       dtype=np.result_type(*parts))
+        for index, part in enumerate(parts):
+            out[..., index::num_slices] = part[
+                ..., :len(range(index, width, num_slices))]
+        return out
 
     def quantize_uniform(self, samples, bits: int, full_scale: float):
         """Delegate to the reference :class:`UniformQuantizer`."""

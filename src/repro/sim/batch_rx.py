@@ -11,11 +11,21 @@ combining and Viterbi decoding dominated every full-stack sweep point.
 :class:`BatchedFullStackModel` runs the *same* receiver over a whole
 Monte-Carlo batch:
 
-* the transmit/channel/impairment/noise/ADC front half stays a per-packet
-  loop that consumes the random streams in exactly the per-packet order
-  (seeded parity with ``backend="packet"`` is a hard contract, guarded by
-  ``tests/sim/test_fullstack_parity.py``), re-using the transceiver's own
-  components so the math is shared by construction;
+* the transmit/channel/impairment/noise/ADC front half consumes the
+  random streams in exactly the per-packet order (seeded parity with
+  ``backend="packet"`` is a hard contract, guarded by
+  ``tests/sim/test_fullstack_parity.py``) while computing the waveform
+  values as whole-batch array passes: batched pulse-train synthesis
+  (:meth:`~repro.core.transmitter._PulsedTransmitter.transmit_batch`),
+  one broadcast FFT for every packet's multipath channel
+  (:func:`~repro.channel.multipath.apply_channels_batch`), batched AGC
+  (:meth:`~repro.dsp.agc.AutomaticGainControl.apply_from_peak_batch`)
+  and a batched ADC — the gen-2 SAR pair with pre-drawn comparator
+  noise, or the gen-1 4-way time-interleaved flash
+  (:meth:`~repro.adc.interleaved.TimeInterleavedADC
+  .convert_presampled_batch`, slice round-robin preserved exactly).
+  Configurations outside both fast paths (e.g. a closed-loop digital
+  notch) keep the per-packet front-end loop, whose parity is immediate;
 * everything downstream of the ADC is batched: one correlation plane for
   acquisition (:meth:`~repro.dsp.acquisition.CoarseAcquisition
   .acquire_batch`), one einsum for channel estimation
@@ -42,11 +52,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.adc.interleaved import TimeInterleavedADC
 from repro.adc.sar import QuadratureSARADC
 from repro.channel.awgn import awgn, noise_std_for_ebn0
 from repro.channel.interference import accepts_rng
+from repro.channel.multipath import apply_channels_batch
 from repro.core.metrics import BERPoint, PacketResult
-from repro.core.receiver import Gen2Receiver, ReceiveResult
+from repro.core.receiver import Gen1Receiver, Gen2Receiver, ReceiveResult
 from repro.dsp.acquisition import BatchedAcquisitionResult
 from repro.dsp.channel_estimation import BatchedChannelEstimate
 from repro.dsp.rake import RakeReceiver, combine_streams_batch, finger_arrays
@@ -124,6 +136,18 @@ class BatchedFullStackModel:
         self.receiver = transceiver.receiver
         self.config = transceiver.config
         self.backend = get_backend(backend)
+        notch = bool(getattr(self.config, "enable_digital_notch", False))
+        # Which batched front half (if any) this stack supports: the gen-2
+        # direct-conversion SAR pair or the gen-1 interleaved flash.  A
+        # closed-loop notch feeds back per packet, so it pins the loop.
+        self._gen2_batched_front = (isinstance(self.receiver, Gen2Receiver)
+                                    and isinstance(self.receiver.adc,
+                                                   QuadratureSARADC)
+                                    and not notch)
+        self._gen1_batched_front = (isinstance(self.receiver, Gen1Receiver)
+                                    and isinstance(self.receiver.adc,
+                                                   TimeInterleavedADC)
+                                    and not notch)
 
     # ------------------------------------------------------------------
     # Batched receive (shared waveforms in, per-packet results out)
@@ -136,21 +160,51 @@ class BatchedFullStackModel:
         Equivalent to ``[receiver.receive(w, rng=rng) for w in waveforms]``
         — same bit decisions packet for packet, with the ADC consuming the
         ``rng`` stream in the same per-packet order — but the DSP back
-        half runs batched.  Waveforms may have different lengths (packets
-        carry random lead-ins and channel tails).
+        half runs batched, and on the gen-1 stack (whose interleaved
+        flash draws no conversion randomness) the AGC + ADC front half
+        batches too.  Waveforms may have different lengths (packets carry
+        random lead-ins and channel tails).
         """
         if rng is None:
             rng = np.random.default_rng()
         receiver = self.receiver
-        samples_rows = []
-        reports = []
-        for waveform in waveforms:
-            samples, report = receiver.frontend_samples(
-                waveform, rng=rng, monitor_spectrum=monitor_spectrum)
-            samples_rows.append(np.asarray(samples))
-            reports.append(report)
+        if self._gen1_batched_front and not monitor_spectrum:
+            waveform_rows = [np.asarray(waveform) for waveform in waveforms]
+            samples_rows = self._gen1_samples_from_waveforms(waveform_rows)
+            reports = [None] * len(samples_rows)
+        else:
+            samples_rows = []
+            reports = []
+            for waveform in waveforms:
+                samples, report = receiver.frontend_samples(
+                    waveform, rng=rng, monitor_spectrum=monitor_spectrum)
+                samples_rows.append(np.asarray(samples))
+                reports.append(report)
         results, _, _ = self._receive_samples_batch(samples_rows, reports)
         return results
+
+    def _gen1_samples_from_waveforms(self, waveform_rows):
+        """Gen-1 analog-to-codes front half, batched over packets.
+
+        Decimate -> per-row peak AGC -> batched interleaved-flash
+        conversion: the batched equivalent of looping
+        :meth:`~repro.core.receiver._PulsedReceiver.frontend_samples`,
+        sample-identical per packet because the rows are processed on
+        their own lengths (trailing zero padding never moves a peak and
+        never shifts the slice round-robin, which counts from index 0 of
+        every row).  Returns the per-packet quantized ADC-rate streams.
+        """
+        lengths = np.asarray([row.size for row in waveform_rows],
+                             dtype=np.int64)
+        if lengths.size == 0:
+            return []
+        width = int(lengths.max())
+        is_complex = any(np.iscomplexobj(row) for row in waveform_rows)
+        batch = np.zeros((len(waveform_rows), width),
+                         dtype=complex if is_complex else float)
+        for index, row in enumerate(waveform_rows):
+            batch[index, :row.size] = row
+        return self._gen1_samples_from_rows(batch, lengths)
 
     def _receive_samples_batch(self, samples_rows, reports):
         """The batched DSP back half: ADC streams in, per-packet results
@@ -327,33 +381,45 @@ class BatchedFullStackModel:
             reports.append(report)
         return samples_rows, reports, payloads, true_starts
 
-    def _frontend_batched(self, ebn0_db, num_packets: int,
-                          payload_bits_per_packet: int, rng,
-                          make_channel, make_interferer, lead_in_s):
-        """Batched gen-2 front half.
+    def _phase1_draws(self, ebn0_db, num_packets: int,
+                      payload_bits_per_packet: int, rng,
+                      make_channel, make_interferer, lead_in_s,
+                      complex_waveform, draw_noise, draw_adc_noise=None):
+        """Phase 1 of both batched front halves: every random draw, in
+        exactly the per-packet order the packet oracle performs them.
 
-        Phase 1 performs every random draw in exactly the per-packet
-        order — payload bits, lead-in, interferer symbols (by the
-        ``add_to == signal + waveform(...)`` convention every built-in
-        rng-consuming interferer follows), AWGN noise, SAR comparator
-        noise (sizes are known from the transmit length alone) — while
-        phase 2 computes the waveform values as whole-batch array
-        operations: one FFT pass for every packet's channel, one SAR
-        search for every packet's I/Q streams.  Post-ADC streams match
-        the per-packet front end bit for bit except at exact quantizer
-        code boundaries (probability ~0 under continuous noise).
+        Per packet: channel and interferer realization, payload bits,
+        lead-in, interferer symbols (by the ``add_to == signal +
+        waveform(...)`` convention every built-in rng-consuming
+        interferer follows), then the generation-specific noise draws —
+        all sized from :meth:`~repro.core.transmitter._PulsedTransmitter
+        .num_transmit_samples` before any waveform exists.  This draw
+        order is the parity contract with ``backend="packet"``, so it
+        lives in exactly one place; the generation hooks only decide
+        *what* is drawn, never *when*:
+
+        ``complex_waveform(channel)``
+            whether this packet's analog waveform is complex (drives the
+            interferer's ``complex_baseband`` flag and the noise shape);
+        ``draw_noise(rng, num_samples, is_complex)``
+            the AWGN draw(s) for one packet (skipped when ``ebn0_db`` is
+            ``None``);
+        ``draw_adc_noise(rng, num_adc_samples)``
+            optional converter-noise draw (the gen-2 SAR comparator
+            pair; gen 1 draws none).
+
+        Returns ``(tx_batch, payloads, channels, interferers,
+        interferer_waves, complex_rows, noise_draws, adc_noise)`` with
+        the transmit waveforms already synthesized as one batch.
         """
-        transceiver = self.transceiver
-        receiver = self.receiver
+        transmitter = self.transceiver.transmitter
         config = self.config
         decimation = config.decimation_factor
         sample_rate = config.simulation_rate_hz
-        sqrt2 = np.sqrt(2.0)
 
-        payloads, true_starts = [], []
-        tx_waves, channels, interferers, interferer_waves = [], [], [], []
-        noise_scales, noise_pairs, adc_noise = [], [], []
-        lengths = []
+        payloads, packets, lead_ins_s = [], [], []
+        channels, interferers, interferer_waves = [], [], []
+        complex_rows, noise_draws, adc_noise = [], [], []
         for _ in range(num_packets):
             channel = make_channel() if make_channel is not None else None
             interferer = (make_interferer() if make_interferer is not None
@@ -364,59 +430,93 @@ class BatchedFullStackModel:
                                     * config.pulse_repetition_interval_s)
             else:
                 packet_lead_in_s = lead_in_s
-            tx = transceiver.transmitter.transmit(
-                payload, lead_in_s=packet_lead_in_s, lead_out_s=2e-8)
-            num_samples = int(tx.waveform.size)
+            packet = transmitter.builder.build(payload)
+            num_samples = transmitter.num_transmit_samples(
+                packet, lead_in_s=packet_lead_in_s, lead_out_s=2e-8)
+            is_complex = bool(complex_waveform(channel))
             interferer_wave = None
             if interferer is not None and accepts_rng(interferer, "add_to"):
                 interferer_wave = interferer.waveform(
-                    num_samples, sample_rate, rng=rng, complex_baseband=True)
-            if ebn0_db is not None:
-                noise_std = noise_std_for_ebn0(tx.energy_per_body_bit(),
-                                               ebn0_db)
-                noise_scales.append(noise_std / sqrt2)
-                noise_pairs.append((rng.standard_normal(num_samples),
-                                    rng.standard_normal(num_samples)))
-            else:
-                noise_scales.append(0.0)
-                noise_pairs.append(None)
-            num_adc = -(-num_samples // decimation)
-            adc_noise.append(
-                (receiver.adc.i_adc.draw_comparator_noise(rng, (num_adc,)),
-                 receiver.adc.q_adc.draw_comparator_noise(rng, (num_adc,))))
+                    num_samples, sample_rate, rng=rng,
+                    complex_baseband=is_complex)
+            noise_draws.append(None if ebn0_db is None
+                               else draw_noise(rng, num_samples, is_complex))
+            if draw_adc_noise is not None:
+                adc_noise.append(
+                    draw_adc_noise(rng, -(-num_samples // decimation)))
             payloads.append(payload)
-            true_starts.append(tx.preamble_start_sample // decimation)
-            tx_waves.append(tx.waveform)
+            packets.append(packet)
+            lead_ins_s.append(packet_lead_in_s)
             channels.append(channel)
             interferers.append(interferer)
             interferer_waves.append(interferer_wave)
-            lengths.append(num_samples)
+            complex_rows.append(is_complex)
 
-        lengths = np.asarray(lengths, dtype=np.int64)
-        width = int(lengths.max())
-        batch = np.zeros((num_packets, width), dtype=complex)
-        for index, wave in enumerate(tx_waves):
-            batch[index, :lengths[index]] = wave
+        tx_batch = transmitter.transmit_batch(payloads, lead_ins_s,
+                                              lead_out_s=2e-8,
+                                              packets=packets)
+        return (tx_batch, payloads, channels, interferers, interferer_waves,
+                complex_rows, noise_draws, adc_noise)
 
-        with_channel = [index for index, channel in enumerate(channels)
-                        if channel is not None]
-        if with_channel:
-            responses = [channels[index].discrete_impulse_response(
-                sample_rate) for index in with_channel]
-            taps_width = max(response.size for response in responses)
-            kernels = np.zeros((len(with_channel), taps_width),
-                               dtype=complex)
-            for row, response in enumerate(responses):
-                kernels[row, :response.size] = response
-            convolved = self.backend.to_numpy(self.backend.fftconvolve_full(
-                self.backend.asarray(batch[with_channel]),
-                self.backend.asarray(kernels)))[:, :width]
-            batch[with_channel] = convolved
-        # A packet's receive buffer ends at its own length — drop the
-        # batch-padding region (channel tails the per-packet capture
-        # would never have seen).
-        batch = np.where(np.arange(width)[None, :] < lengths[:, None],
-                         batch, 0.0)
+    def _channel_batch(self, channels, tx_batch):
+        """Phase-2 channel pass over the transmit batch, copy-safe.
+
+        :func:`apply_channels_batch` returns its input array when no row
+        has a channel; the later interference/noise adds write in place,
+        so that case copies first — the (frozen) ``tx_batch`` must keep
+        its clean transmit waveforms.
+        """
+        batch = apply_channels_batch(channels, tx_batch.waveforms,
+                                     self.config.simulation_rate_hz,
+                                     valid_lengths=tx_batch.lengths,
+                                     backend=self.backend)
+        if batch is tx_batch.waveforms:
+            batch = batch.copy()
+        return batch
+
+    def _frontend_batched_gen2(self, ebn0_db, num_packets: int,
+                               payload_bits_per_packet: int, rng,
+                               make_channel, make_interferer, lead_in_s):
+        """Batched gen-2 front half.
+
+        Phase 1 (:meth:`_phase1_draws`) performs every random draw in
+        exactly the per-packet order — payload bits, lead-in, interferer
+        symbols, the AWGN I/Q pair, SAR comparator noise — while phase 2
+        computes the waveform values as whole-batch array operations:
+        one batched pulse-train synthesis, one FFT pass for every
+        packet's channel, one SAR search for every packet's I/Q streams.
+        Post-ADC streams match the per-packet front end bit for bit
+        except at exact quantizer code boundaries (probability ~0 under
+        continuous noise).
+        """
+        transceiver = self.transceiver
+        receiver = self.receiver
+        config = self.config
+        decimation = config.decimation_factor
+        sample_rate = config.simulation_rate_hz
+        sqrt2 = np.sqrt(2.0)
+
+        def draw_noise(rng, num_samples, is_complex):
+            return (rng.standard_normal(num_samples),
+                    rng.standard_normal(num_samples))
+
+        def draw_adc_noise(rng, num_adc):
+            return (receiver.adc.i_adc.draw_comparator_noise(rng,
+                                                             (num_adc,)),
+                    receiver.adc.q_adc.draw_comparator_noise(rng,
+                                                             (num_adc,)))
+
+        (tx_batch, payloads, channels, interferers, interferer_waves,
+         _complex_rows, noise_pairs, adc_noise) = self._phase1_draws(
+            ebn0_db, num_packets, payload_bits_per_packet, rng,
+            make_channel, make_interferer, lead_in_s,
+            complex_waveform=lambda channel: True,
+            draw_noise=draw_noise, draw_adc_noise=draw_adc_noise)
+
+        lengths = tx_batch.lengths
+        true_starts = [int(start) // decimation
+                       for start in tx_batch.preamble_start_samples]
+        batch = self._channel_batch(channels, tx_batch)
 
         gen2_config = config
         needs_impairments = (
@@ -435,21 +535,19 @@ class BatchedFullStackModel:
                 batch[index, valid] = interferers[index].add_to(
                     batch[index, valid], sample_rate)
             if noise_pairs[index] is not None:
+                noise_std = noise_std_for_ebn0(
+                    float(tx_batch.energies_per_body_bit[index]), ebn0_db)
                 in_phase, quadrature = noise_pairs[index]
                 batch[index, valid] += ((in_phase + 1j * quadrature)
-                                        * noise_scales[index])
+                                        * (noise_std / sqrt2))
 
         # Decimate -> block AGC -> SAR pair, batched (the per-packet
         # equivalents are frontend_samples' decimate/apply_from_peak/
         # _digitize with full_scale 1.0 and 1 dB peak backoff).
         decimated = batch[:, ::decimation]
         adc_lengths = -(-lengths // decimation)
-        peaks = np.max(np.abs(decimated), axis=-1)
-        target_peak = 1.0 * 10.0 ** (-1.0 / 20.0)
-        gains = np.clip(target_peak / np.where(peaks > 0, peaks, 1.0),
-                        receiver.agc.min_gain, receiver.agc.max_gain)
-        gains = np.where(peaks > 0, gains, 1.0)
-        scaled = decimated * gains[:, None]
+        scaled, _gains = receiver.agc.apply_from_peak_batch(
+            decimated, full_scale=1.0, peak_backoff_db=1.0)
 
         bits = receiver.adc.bits
         adc_width = int(scaled.shape[1])
@@ -471,6 +569,101 @@ class BatchedFullStackModel:
         samples_rows = [samples_batch[index, :adc_lengths[index]]
                         for index in range(num_packets)]
         return samples_rows, [None] * num_packets, payloads, true_starts
+
+    def _frontend_batched_gen1(self, ebn0_db, num_packets: int,
+                               payload_bits_per_packet: int, rng,
+                               make_channel, make_interferer, lead_in_s):
+        """Batched gen-1 front half (4 GHz sim-rate carrier-free chain).
+
+        The same two-phase discipline as the gen-2 front
+        (:meth:`_phase1_draws`): phase 1 makes every random draw in
+        per-packet order — payload bits, lead-in, interferer symbols,
+        AWGN noise (*one* real stream per packet, or an I/Q pair when a
+        complex-gain channel promotes the waveform, exactly the draws
+        :func:`~repro.channel.awgn.awgn` would make) — and phase 2 runs
+        the waveform math batched: one pulse-train synthesis pass, one
+        broadcast FFT over every packet's real multipath kernel, batched
+        peak AGC and the batched 4-way interleaved-flash conversion.
+        The gen-1 interleaved flash draws no conversion randomness (its
+        mismatches are frozen at construction), so there is no ADC-noise
+        phase.  Post-ADC streams match the per-packet front end bit for
+        bit except at exact flash threshold crossings (probability ~0
+        under continuous noise).
+        """
+        config = self.config
+        sample_rate = config.simulation_rate_hz
+        sqrt2 = np.sqrt(2.0)
+
+        def complex_waveform(channel):
+            # A complex-gain channel promotes this packet's real waveform
+            # to complex, which changes every later dtype-sensitive step
+            # (interferer tone vs complex exponential, one noise stream
+            # vs an I/Q pair) — track it per packet.
+            return channel is not None and np.iscomplexobj(channel.gains)
+
+        def draw_noise(rng, num_samples, is_complex):
+            if is_complex:
+                return (rng.standard_normal(num_samples),
+                        rng.standard_normal(num_samples))
+            return rng.standard_normal(num_samples)
+
+        (tx_batch, payloads, channels, interferers, interferer_waves,
+         complex_rows, noise_draws, _adc_noise) = self._phase1_draws(
+            ebn0_db, num_packets, payload_bits_per_packet, rng,
+            make_channel, make_interferer, lead_in_s,
+            complex_waveform=complex_waveform, draw_noise=draw_noise)
+
+        lengths = tx_batch.lengths
+        decimation = config.decimation_factor
+        true_starts = [int(start) // decimation
+                       for start in tx_batch.preamble_start_samples]
+        batch = self._channel_batch(channels, tx_batch)
+        batch_is_complex = np.iscomplexobj(batch)
+
+        # Gen-1 has no analog impairment hook (``_apply_impairments`` is
+        # the identity), so phase 2 goes straight to interference+noise.
+        for index in range(num_packets):
+            valid = slice(0, int(lengths[index]))
+            if interferer_waves[index] is not None:
+                batch[index, valid] += interferer_waves[index]
+            elif interferers[index] is not None:
+                if batch_is_complex and not complex_rows[index]:
+                    # The batch was promoted by *other* rows' channels;
+                    # this packet is still logically real (zero imag), so
+                    # feed add_to the real view to keep the per-packet
+                    # tone real, not a complex exponential.
+                    batch[index, valid] = interferers[index].add_to(
+                        np.real(batch[index, valid]), sample_rate)
+                else:
+                    batch[index, valid] = interferers[index].add_to(
+                        batch[index, valid], sample_rate)
+            if noise_draws[index] is None:
+                continue
+            noise_std = noise_std_for_ebn0(
+                float(tx_batch.energies_per_body_bit[index]), ebn0_db)
+            if complex_rows[index]:
+                in_phase, quadrature = noise_draws[index]
+                batch[index, valid] += ((in_phase + 1j * quadrature)
+                                        * (noise_std / sqrt2))
+            else:
+                batch[index, valid] += noise_std * noise_draws[index]
+
+        samples_rows = self._gen1_samples_from_rows(batch, lengths)
+        return samples_rows, [None] * num_packets, payloads, true_starts
+
+    def _gen1_samples_from_rows(self, batch, lengths):
+        """Shared gen-1 decimate -> AGC -> interleaved-flash batch tail."""
+        receiver = self.receiver
+        decimation = self.config.decimation_factor
+        decimated = batch[:, ::decimation]
+        adc_lengths = -(-np.asarray(lengths, dtype=np.int64) // decimation)
+        scaled, _gains = receiver.agc.apply_from_peak_batch(
+            decimated, full_scale=1.0, peak_backoff_db=1.0)
+        samples_batch = receiver.adc.convert_presampled_batch(
+            np.real(scaled), backend=self.backend)
+        samples_batch = self.backend.to_numpy(samples_batch)
+        return [samples_batch[index, :adc_lengths[index]]
+                for index in range(batch.shape[0])]
 
     # ------------------------------------------------------------------
     # Full Monte-Carlo grid point
@@ -497,16 +690,17 @@ class BatchedFullStackModel:
         if rng is None:
             rng = np.random.default_rng()
 
-        # The gen-2 direct-conversion front end (complex waveform into the
-        # SAR pair, no closed-loop notch) supports the fully batched front
-        # half; anything else keeps the per-packet front-end loop, whose
+        # Both hardware generations have a fully batched front half — the
+        # gen-2 direct-conversion SAR pair and the gen-1 4 GHz
+        # interleaved-flash chain; anything else (e.g. a closed-loop
+        # digital notch) keeps the per-packet front-end loop, whose
         # parity is immediate.
-        batched_front = (
-            isinstance(self.receiver, Gen2Receiver)
-            and isinstance(self.receiver.adc, QuadratureSARADC)
-            and not getattr(self.config, "enable_digital_notch", False))
-        frontend = (self._frontend_batched if batched_front
-                    else self._frontend_per_packet)
+        if self._gen2_batched_front:
+            frontend = self._frontend_batched_gen2
+        elif self._gen1_batched_front:
+            frontend = self._frontend_batched_gen1
+        else:
+            frontend = self._frontend_per_packet
         samples_rows, reports, payloads, true_starts = frontend(
             ebn0_db, num_packets, payload_bits_per_packet, rng,
             make_channel, make_interferer, lead_in_s)

@@ -56,7 +56,11 @@ from repro.utils.validation import require_int
 __all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
 
 _BACKENDS = ("batch", "packet", "fullstack")
-_FULLSTACK_RX_VERSION = 1
+# 2: the gen-1 front half (pulse synthesis, real-waveform channel conv,
+# AGC, interleaved-flash ADC) went batched — decisions are pinned to the
+# packet oracle, but the batch FFT widths shift float intermediates at
+# rounding level, so gen-1 fullstack cache entries must not be reused.
+_FULLSTACK_RX_VERSION = 2
 _FULL_STACK_BPSK_MESSAGE = (
     "backend={backend!r} drives the full transceiver stack, which is "
     "BPSK-only, but the grid sweeps modulation(s) {modulations}; use "

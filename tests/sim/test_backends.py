@@ -157,6 +157,32 @@ class TestBackendHelpers:
         generator = np.random.default_rng(3)
         assert self.reference.random_source(generator) is generator
 
+    def test_interleave_streams_generic_matches_numpy_override(self, rng):
+        """The round-robin merge (batched interleaved-ADC reassembly):
+        generic stack/reshape vs the NumPy strided scatter, including
+        widths not divisible by the slice count and leading batch axes."""
+        for num_slices in (1, 2, 3, 4, 5):
+            for width in (1, 7, 12, 40, 41, 43):
+                if width < num_slices:
+                    continue
+                parts = [rng.standard_normal(
+                    (3, len(range(k, width, num_slices))))
+                    for k in range(num_slices)]
+                expected = np.empty((3, width))
+                for k, part in enumerate(parts):
+                    expected[:, k::num_slices] = part
+                np.testing.assert_array_equal(
+                    self.reference.interleave_streams(parts, width),
+                    expected)
+                np.testing.assert_array_equal(
+                    self.generic.interleave_streams(parts, width), expected)
+
+    def test_interleave_streams_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            self.reference.interleave_streams([], 4)
+        with pytest.raises(ValueError, match="at least one"):
+            self.generic.interleave_streams([], 4)
+
 
 ACCELERATORS = [name for name in available_backends() if name != "numpy"]
 

@@ -1,12 +1,16 @@
 """Golden regression for the batched full-stack receiver.
 
-``golden_fullstack_fixture.json`` pins what the fullstack backend produced
-when it was introduced, for one canonical CM1 grid point: the batched
-acquisition record (detections, timings, search sizes, peak metrics), the
-quantized channel-estimate taps, and the post-RAKE error counts.  The
-same-named pattern guards the array backends (PR 3); this fixture is the
-contract that keeps ``repro.runs`` caches and published full-stack curves
-stable across refactors of the batched receiver.
+``golden_fullstack_fixture.json`` (gen 2) and
+``golden_fullstack_gen1_fixture.json`` (gen 1) pin what the fullstack
+backend produced when each generation's batched path was introduced, for
+one canonical CM1 grid point per generation: the batched acquisition
+record (detections, timings, search sizes, peak metrics), the quantized
+channel-estimate taps, and the post-RAKE error counts.  The same-named
+pattern guards the array backends (PR 3); these fixtures are the
+contract that keeps ``repro.runs`` caches and published full-stack
+curves stable across refactors of the batched receiver — the gen-1
+fixture regression-pins the batched 4 GHz interleaved-flash front end
+exactly as the gen-2 fixture pins the SAR front.
 
 Integer decisions must match exactly.  Float observables (peak metrics,
 taps) are compared at ``rtol=1e-9`` — they ride on FFT output whose last
@@ -16,45 +20,74 @@ them are pinned exactly.
 Regenerate (only when an intentional receiver change bumps
 ``repro.sim.engine._FULLSTACK_RX_VERSION``)::
 
-    PYTHONPATH=src:tests/sim python -c "import test_fullstack_golden as m; m.write_fixture()"
+    PYTHONPATH=src:tests/sim python -c "import test_fullstack_golden as m; m.write_fixtures()"
 """
 
 import json
 from pathlib import Path
 
 import numpy as np
+import pytest
 
-from repro.core.config import Gen2Config
-from repro.core.transceiver import Gen2Transceiver
+from repro.core.config import Gen1Config, Gen2Config
+from repro.core.transceiver import Gen1Transceiver, Gen2Transceiver
 from repro.sim.batch_rx import BatchedFullStackModel
 from repro.sim.scenarios import SCENARIOS
 
-FIXTURE_PATH = Path(__file__).with_name("golden_fullstack_fixture.json")
-
 CANONICAL = {
-    "generation": "gen2",
-    "scenario": "cm1",
-    "ebn0_db": 6.0,
-    "num_packets": 12,
-    "payload_bits_per_packet": 64,
-    "hardware_seed": 2025,
-    "noise_seed": 4005,
-    "scenario_seed": 4006,
+    "gen2": {
+        "path": Path(__file__).with_name("golden_fullstack_fixture.json"),
+        "point": {
+            "generation": "gen2",
+            "scenario": "cm1",
+            "ebn0_db": 6.0,
+            "num_packets": 12,
+            "payload_bits_per_packet": 64,
+            "hardware_seed": 2025,
+            "noise_seed": 4005,
+            "scenario_seed": 4006,
+        },
+    },
+    "gen1": {
+        "path": Path(__file__).with_name(
+            "golden_fullstack_gen1_fixture.json"),
+        # Above the gen-1 synchronization cliff (~12 dB) so the point
+        # exercises detection, estimation and RAKE combining rather than
+        # a wall of acquisition failures.
+        "point": {
+            "generation": "gen1",
+            "scenario": "cm1",
+            "ebn0_db": 12.0,
+            "num_packets": 12,
+            "payload_bits_per_packet": 64,
+            "hardware_seed": 2026,
+            "noise_seed": 5005,
+            "scenario_seed": 5006,
+        },
+    },
 }
 
+GENERATIONS = tuple(CANONICAL)
 
-def run_canonical_point():
-    """The canonical CM1 point, reproduced exactly as the fixture was."""
-    scenario = SCENARIOS.get(CANONICAL["scenario"])
-    scenario_rng = np.random.default_rng(CANONICAL["scenario_seed"])
-    transceiver = Gen2Transceiver(
-        Gen2Config.fast_test_config(),
-        rng=np.random.default_rng(CANONICAL["hardware_seed"]))
+
+def _build_transceiver(generation: str, hardware_seed: int):
+    rng = np.random.default_rng(hardware_seed)
+    if generation == "gen1":
+        return Gen1Transceiver(Gen1Config.fast_test_config(), rng=rng)
+    return Gen2Transceiver(Gen2Config.fast_test_config(), rng=rng)
+
+
+def run_canonical_point(generation: str):
+    """A generation's canonical CM1 point, exactly as its fixture was."""
+    canonical = CANONICAL[generation]["point"]
+    scenario = SCENARIOS.get(canonical["scenario"])
+    scenario_rng = np.random.default_rng(canonical["scenario_seed"])
+    transceiver = _build_transceiver(generation, canonical["hardware_seed"])
     model = BatchedFullStackModel(transceiver)
     return model.simulate(
-        CANONICAL["ebn0_db"], CANONICAL["num_packets"],
-        CANONICAL["payload_bits_per_packet"],
-        rng=np.random.default_rng(CANONICAL["noise_seed"]),
+        canonical["ebn0_db"], canonical["num_packets"],
+        canonical["payload_bits_per_packet"],
+        rng=np.random.default_rng(canonical["noise_seed"]),
         make_channel=lambda: scenario.make_channel(scenario_rng),
         make_interferer=lambda: scenario.make_interferer(scenario_rng))
 
@@ -64,12 +97,12 @@ def _complex_rows(taps: np.ndarray) -> list:
             for row in np.asarray(taps, dtype=complex)]
 
 
-def write_fixture() -> None:
-    """Regenerate the golden fixture from the current implementation."""
-    batch = run_canonical_point()
+def write_fixture(generation: str) -> None:
+    """Regenerate one generation's golden fixture from the current code."""
+    batch = run_canonical_point(generation)
     acquisition = batch.acquisition
     fixture = {
-        "canonical": CANONICAL,
+        "canonical": CANONICAL[generation]["point"],
         "measurement": {
             "bit_errors": batch.bit_errors,
             "total_bits": batch.total_bits,
@@ -90,20 +123,27 @@ def write_fixture() -> None:
         "channel_estimate_taps": _complex_rows(
             batch.channel_estimates.taps),
     }
-    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2) + "\n",
-                            encoding="utf-8")
+    CANONICAL[generation]["path"].write_text(
+        json.dumps(fixture, indent=2) + "\n", encoding="utf-8")
 
 
-def _load_fixture() -> dict:
-    with FIXTURE_PATH.open(encoding="utf-8") as handle:
+def write_fixtures() -> None:
+    """Regenerate every generation's golden fixture."""
+    for generation in GENERATIONS:
+        write_fixture(generation)
+
+
+def _load_fixture(generation: str) -> dict:
+    with CANONICAL[generation]["path"].open(encoding="utf-8") as handle:
         return json.load(handle)
 
 
-def test_canonical_cm1_point_matches_golden():
-    fixture = _load_fixture()
-    assert fixture["canonical"] == CANONICAL, (
+@pytest.mark.parametrize("generation", GENERATIONS)
+def test_canonical_cm1_point_matches_golden(generation):
+    fixture = _load_fixture(generation)
+    assert fixture["canonical"] == CANONICAL[generation]["point"], (
         "fixture was generated for different canonical-point parameters")
-    batch = run_canonical_point()
+    batch = run_canonical_point(generation)
 
     expected = fixture["measurement"]
     assert batch.bit_errors == expected["bit_errors"]
@@ -132,13 +172,15 @@ def test_canonical_cm1_point_matches_golden():
                                rtol=1e-9, atol=1e-12)
 
 
-def test_fixture_exercises_the_full_chain():
-    """The pinned point must actually exercise multipath reception: every
+@pytest.mark.parametrize("generation", GENERATIONS)
+def test_fixture_exercises_the_full_chain(generation):
+    """The pinned points must actually exercise multipath reception: every
     packet detected, a non-trivial channel estimate, and some (but not
-    catastrophic) residual errors would all be plausible — at minimum the
+    catastrophic) residual errors would all be plausible — at minimum each
     fixture must carry one detection and a multi-tap estimate."""
-    fixture = _load_fixture()
+    fixture = _load_fixture(generation)
+    canonical = CANONICAL[generation]["point"]
     assert any(fixture["acquisition"]["detected"])
     assert len(fixture["channel_estimate_taps"][0]) > 1
     assert fixture["measurement"]["total_bits"] == (
-        CANONICAL["num_packets"] * CANONICAL["payload_bits_per_packet"])
+        canonical["num_packets"] * canonical["payload_bits_per_packet"])

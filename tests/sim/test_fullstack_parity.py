@@ -7,18 +7,23 @@ per-packet oracle — ``backend="packet"`` /
 bit decision* on shared seeded inputs, not merely statistically.  Three
 layers of evidence:
 
-* shared-waveform parity: one seeded waveform set (AWGN + CM1 multipath +
-  narrowband interference) pushed through both receive paths, comparing
-  per-packet payload bits, body bits, detection, timing and CRC;
+* shared-waveform parity: seeded waveform sets (AWGN + multipath +
+  narrowband interference, both hardware generations) pushed through
+  both receive paths, comparing per-packet payload bits, body bits,
+  detection, timing and CRC;
+* gen-1 front-end bitwise parity: the batched 4 GHz front half
+  (pulse-train synthesis, real-waveform channel FFT, AGC, 4-way
+  interleaved flash) must emit bitwise the per-packet loop's ADC codes;
 * engine-point parity: whole grid points measured by both backends from
   the engine's own seeding, comparing error counts per packet;
 * a hypothesis-style randomized property: batched acquisition must return
   identical ``detected``/``offset`` to a per-packet ``acquire`` loop for
   random true timing offsets and SNRs (fixed seeds).
 
-A coarser 3-sigma statistical check against the genie batch kernel on a
-gen-1 grid (slow, marked accordingly) guards the physics: above the
-synchronization cliff the full stack converges to the genie's BER.
+Two slow-marked grids guard the large-scale behavior: a 3-sigma
+statistical check against the genie batch kernel above the gen-1
+synchronization cliff, and a full gen-1 scenario x Eb/N0 grid with exact
+per-packet equality between the backends.
 """
 
 import numpy as np
@@ -79,11 +84,21 @@ def _shared_waveform_set(transceiver, scenario_name, num_packets, seed,
 class TestSharedWaveformParity:
     """Same waveforms in, same bit decisions out — packet by packet."""
 
-    @pytest.mark.parametrize("scenario", ["awgn", "cm1", "narrowband"])
-    def test_receive_batch_matches_per_packet_receive(self, scenario):
-        transceiver = _build_transceiver("gen2")
+    @pytest.mark.parametrize("generation,scenario", [
+        ("gen2", "awgn"),
+        ("gen2", "cm1"),
+        ("gen2", "narrowband"),
+        ("gen1", "awgn"),
+        ("gen1", "cm1"),
+        ("gen1", "two_ray"),
+        ("gen1", "narrowband"),
+    ])
+    def test_receive_batch_matches_per_packet_receive(self, generation,
+                                                      scenario):
+        transceiver = _build_transceiver(generation)
         waveforms, payloads, true_starts = _shared_waveform_set(
-            transceiver, scenario, num_packets=12, seed=101)
+            transceiver, scenario, num_packets=12, seed=101,
+            ebn0_db=6.0 if generation == "gen2" else 12.0)
 
         # The ADC draws from the rng per packet in order; identically
         # seeded streams line those draws up between the two paths.
@@ -104,13 +119,15 @@ class TestSharedWaveformParity:
             assert np.array_equal(single.body_bits, batch.body_bits), \
                 f"packet {index}"
 
-    def test_channel_estimates_bitwise_identical(self):
+    @pytest.mark.parametrize("generation", ["gen2", "gen1"])
+    def test_channel_estimates_bitwise_identical(self, generation):
         """The 4-bit-quantized taps must match *bitwise*: selective-RAKE
         finger selection breaks magnitude ties by array order, so even a
         one-ulp tap difference could pick different fingers."""
-        transceiver = _build_transceiver("gen2")
-        waveforms, _, _ = _shared_waveform_set(transceiver, "cm1",
-                                               num_packets=8, seed=303)
+        transceiver = _build_transceiver(generation)
+        waveforms, _, _ = _shared_waveform_set(
+            transceiver, "cm1", num_packets=8, seed=303,
+            ebn0_db=6.0 if generation == "gen2" else 12.0)
         shared_rng = np.random.default_rng(9)
         per_packet = [transceiver.receiver.receive(waveform, rng=shared_rng)
                       for waveform in waveforms]
@@ -125,6 +142,50 @@ class TestSharedWaveformParity:
                 f"packet {index}"
 
 
+class TestGen1FrontEndBitwise:
+    """The batched gen-1 front half reproduces the per-packet front half's
+    ADC output *codes* bitwise — the acceptance bar for batching the
+    4 GHz interleaved-flash chain.  The convolution/AGC floats may differ
+    at rounding level (batch FFT widths), but the 4-bit flash collapses
+    them: a code could only flip at an exact threshold crossing, which
+    has probability ~0 under continuous noise."""
+
+    @pytest.mark.parametrize("scenario,ebn0_db", [
+        ("awgn", 12.0),
+        ("cm1", 12.0),
+        ("two_ray", 10.0),
+        ("exp_decay", 12.0),
+        ("narrowband", 12.0),
+    ])
+    def test_batched_front_streams_bitwise_equal(self, scenario, ebn0_db):
+        scen = SCENARIOS.get(scenario)
+        transceiver = _build_transceiver("gen1")
+        model = BatchedFullStackModel(transceiver)
+        assert model._gen1_batched_front
+
+        streams = {}
+        for frontend in (model._frontend_per_packet,
+                         model._frontend_batched_gen1):
+            scenario_rng = np.random.default_rng(77)
+            rows, _, payloads, starts = frontend(
+                ebn0_db, 8, 48, np.random.default_rng(13),
+                lambda: scen.make_channel(scenario_rng),
+                lambda: scen.make_interferer(scenario_rng), None)
+            streams[frontend.__name__] = (rows, payloads, starts)
+
+        loop_rows, loop_payloads, loop_starts = \
+            streams["_frontend_per_packet"]
+        batch_rows, batch_payloads, batch_starts = \
+            streams["_frontend_batched_gen1"]
+        assert loop_starts == batch_starts
+        for index in range(len(loop_rows)):
+            assert np.array_equal(loop_payloads[index],
+                                  batch_payloads[index]), index
+            # The streams are reconstruction values, a bijection of the
+            # flash output codes — bitwise equality pins the codes.
+            assert np.array_equal(loop_rows[index], batch_rows[index]), index
+
+
 class TestEnginePointParity:
     """backend='fullstack' measures exactly what backend='packet' measures."""
 
@@ -135,7 +196,12 @@ class TestEnginePointParity:
         ("gen2", "cm1", 6.0),
         ("gen2", "narrowband", 4.0),
         ("gen1", "cm1", 6.0),
+        ("gen1", "cm1", 12.0),
         ("gen1", "awgn", 2.0),
+        ("gen1", "awgn", 13.0),
+        ("gen1", "two_ray", 10.0),
+        ("gen1", "exp_decay", 12.0),
+        ("gen1", "narrowband", 12.0),
     ])
     def test_identical_error_counts_per_packet(self, generation, scenario,
                                                ebn0_db):
@@ -173,6 +239,28 @@ class TestEnginePointParity:
         (point, packet), (_, fullstack) = (results["packet"].entries[0],
                                            results["fullstack"].entries[0])
         assert packet.bit_errors == fullstack.bit_errors
+        assert (results["packet"].errors_per_packet[point]
+                == results["fullstack"].errors_per_packet[point])
+
+    def test_gen1_high_rate_point_parity(self):
+        """The gen-1 highest-rate operating point (1 pulse/bit — the
+        paper's pulses-per-bit knob turned all the way up, the bench
+        headline) routes through the batched synthesis grid path and
+        must still match the oracle error for error."""
+        config = Gen1Config.fast_test_config().with_changes(
+            pulses_per_bit=1)
+        grid = sweep_grid([12.0], scenarios=("gen1_baseline",))
+        results = {}
+        for backend in ("packet", "fullstack"):
+            engine = SweepEngine(config=config, generation="gen1", seed=17,
+                                 backend=backend)
+            results[backend] = engine.run(grid, num_packets=10,
+                                          payload_bits_per_packet=96,
+                                          collect_errors_per_packet=True)
+        (point, packet), (_, fullstack) = (results["packet"].entries[0],
+                                           results["fullstack"].entries[0])
+        assert packet.bit_errors == fullstack.bit_errors
+        assert packet.packets_failed == fullstack.packets_failed
         assert (results["packet"].errors_per_packet[point]
                 == results["fullstack"].errors_per_packet[point])
 
@@ -215,6 +303,34 @@ class TestStatisticalAgreement:
             # allow one on top of the binomial band.
             tolerance = 3.0 * sigma + payload / full.total_bits
             assert abs(full.ber - fast.ber) <= tolerance, point
+
+
+@pytest.mark.slow
+class TestGen1FullGridParity:
+    """The full gen-1 grid — every gen-1-relevant scenario crossed with
+    an Eb/N0 ladder spanning the synchronization cliff — measured by
+    both backends with a real Monte-Carlo budget.  Exact equality per
+    packet (a strictly stronger bar than the 3-sigma statistical band:
+    zero sigma) on every grid point."""
+
+    def test_every_grid_point_identical_per_packet(self):
+        grid = sweep_grid(
+            [6.0, 10.0, 14.0],
+            scenarios=("awgn", "two_ray", "exp_decay", "cm1", "narrowband"))
+        results = {}
+        for backend in ("packet", "fullstack"):
+            engine = SweepEngine(generation="gen1", seed=29,
+                                 backend=backend)
+            results[backend] = engine.run(grid, num_packets=48,
+                                          payload_bits_per_packet=64,
+                                          collect_errors_per_packet=True)
+        for (point, packet), (_, fullstack) in zip(
+                results["packet"].entries, results["fullstack"].entries):
+            assert packet.bit_errors == fullstack.bit_errors, point
+            assert packet.total_bits == fullstack.total_bits, point
+            assert packet.packets_failed == fullstack.packets_failed, point
+            assert (results["packet"].errors_per_packet[point]
+                    == results["fullstack"].errors_per_packet[point]), point
 
 
 class TestAcquisitionProperty:
