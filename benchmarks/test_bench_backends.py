@@ -114,7 +114,7 @@ def _produce_into_block(args) -> int:
     """Shared-memory return path: write the result in place, ship a slot."""
     block_name, seed = args
     measurement, errors = _produce_point_result(seed)
-    block = ChunkResultBlock.attach(block_name, 1, TRANSPORT_PACKETS)
+    block = ChunkResultBlock.attach(block_name)
     try:
         block.write_result(0, measurement, errors)
     finally:
@@ -125,7 +125,7 @@ def _produce_into_block(args) -> int:
 def _time_transports():
     # Allocate (and free) one block before forking so the workers inherit
     # the parent's shared-memory resource tracker — the same ordering
-    # SweepEngine._run_tasks_shared guarantees.
+    # SweepEngine's shared-memory chunk scheduler guarantees.
     primer = ChunkResultBlock.allocate(1, 0)
     primer.close()
     primer.unlink()

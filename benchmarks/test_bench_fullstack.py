@@ -32,8 +32,16 @@ Timings are min-of-rounds on the batched side and single-shot on the
 oracle (the conservative direction: a load spike during the oracle run
 shrinks the asserted ratio's slack, never inflates the claim past what
 the table prints).
+
+A third benchmark covers chunk-granular scheduling ("Chunk-granular
+scheduling" on the ROADMAP): one hot CM1 fullstack point decomposed into
+seeded packet chunks and fanned across four workers must beat the
+serial pass over the same chunk layout by at least 3x, with a bitwise
+identical merged measurement — the single-hot-point case the point-level
+scheduler could never parallelize.
 """
 
+import os
 import time
 
 import pytest
@@ -48,6 +56,8 @@ SEED = 3
 REQUIRED_SPEEDUP = 10.0
 GEN1_EBN0_DB = 12.0
 GEN1_REQUIRED_SPEEDUP = 5.0
+HOT_POINT_WORKERS = 4
+HOT_POINT_REQUIRED_SPEEDUP = 3.0
 
 CONFIGS = (
     ("fast-test", Gen2Config.fast_test_config(), 24, 128),
@@ -186,3 +196,71 @@ def test_bench_fullstack_gen1_vs_packet_loop(benchmark):
         f"batched gen-1 front end managed only {speedup:.1f}x over the "
         f"packet loop on the {GEN1_HEADLINE!r} point (acceptance: "
         f">= {GEN1_REQUIRED_SPEEDUP:.0f}x)")
+
+
+@pytest.mark.benchmark(group="bench-fullstack")
+def test_bench_hot_point_chunk_scaling(benchmark):
+    """One hot CM1 fullstack point, chunked and fanned over 4 workers.
+
+    Before chunk-granular scheduling a single grid point was one task —
+    extra workers sat idle.  With the point decomposed into seeded
+    packet chunks, four workers must beat the serial pass over the same
+    layout by >= 3x while merging to the bitwise-identical measurement
+    (``REPRO_BENCH_HOT_PACKETS`` scales the point for slower or faster
+    hosts; the layout itself never changes the result).
+    """
+    if len(os.sched_getaffinity(0)) < HOT_POINT_WORKERS:
+        pytest.skip(f"needs >= {HOT_POINT_WORKERS} usable CPUs for a "
+                    "meaningful scaling ratio")
+
+    num_packets = int(os.environ.get("REPRO_BENCH_HOT_PACKETS", "96"))
+    chunk_packets = max(1, num_packets // (HOT_POINT_WORKERS * 4))
+    payload_bits = 256
+    config = Gen2Config.fast_test_config().with_changes(
+        use_mlse=True, mlse_max_taps=5, rake_fingers=16,
+        channel_estimate_taps=64, adc_comparator_noise_std=0.0)
+    grid = sweep_grid([EBN0_DB], scenarios=("cm1",))
+
+    def run_pair():
+        timings = {}
+        results = {}
+        for label, workers in (("serial", None),
+                               ("parallel", HOT_POINT_WORKERS)):
+            engine = SweepEngine(config=config, generation="gen2",
+                                 seed=SEED, backend="fullstack",
+                                 chunk_packets=chunk_packets)
+            # Warm caches so neither pass pays first-call costs.
+            engine.run(grid, num_packets=2,
+                       payload_bits_per_packet=payload_bits)
+            start = time.perf_counter()
+            results[label] = engine.run(
+                grid, num_packets=num_packets,
+                payload_bits_per_packet=payload_bits,
+                max_workers=workers, collect_errors_per_packet=True)
+            timings[label] = time.perf_counter() - start
+        return timings, results
+
+    timings, results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    speedup = timings["serial"] / max(timings["parallel"], 1e-9)
+    print_header("BENCH-HOT-POINT",
+                 f"one CM1 fullstack point at {EBN0_DB:.0f} dB, "
+                 f"{num_packets} packets in {chunk_packets}-packet chunks")
+    print_table(
+        ["schedule", "point", "wall time", "speedup", "BER"],
+        [["serial chunks", f"{num_packets}x{payload_bits}b",
+          f"{timings['serial'] * 1e3:9.1f} ms", "  1.0x",
+          format_ber(results["serial"].entries[0][1].ber)],
+         [f"{HOT_POINT_WORKERS} workers", f"{num_packets}x{payload_bits}b",
+          f"{timings['parallel'] * 1e3:9.1f} ms", f"{speedup:5.1f}x",
+          format_ber(results["parallel"].entries[0][1].ber)]])
+
+    # Scheduling must be bitwise invisible: identical merged counts AND
+    # identical per-packet error vectors.
+    assert results["parallel"].entries == results["serial"].entries
+    assert (results["parallel"].errors_per_packet
+            == results["serial"].errors_per_packet)
+    assert speedup >= HOT_POINT_REQUIRED_SPEEDUP, (
+        f"chunk fan-out managed only {speedup:.1f}x at "
+        f"{HOT_POINT_WORKERS} workers on the hot CM1 point (acceptance: "
+        f">= {HOT_POINT_REQUIRED_SPEEDUP:.0f}x)")

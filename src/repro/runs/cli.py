@@ -29,8 +29,10 @@ Eb/N0 axis also accepts ``start:stop[:step]`` with an *inclusive* stop
 and a default step of 1 (``--ebn0 0:12:1`` is the thirteen integer
 points 0..12 dB).  ``--array-backend`` (or ``REPRO_ARRAY_BACKEND``)
 selects the array backend the batch kernel runs on; ``--workers N``
-fans cache misses over worker processes with shared-memory result
-transport.
+fans cache misses over worker processes with shared-memory chunk
+transport, and ``--chunk-packets N`` makes the seeded packet chunk the
+unit of scheduling and caching so even a single hot point spreads over
+the pool.
 """
 
 from __future__ import annotations
@@ -166,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "missing tail chunk per point")
     sweep.add_argument("--payload-bits", type=int, default=64, metavar="N",
                        help="payload bits per packet (default: 64)")
+    sweep.add_argument("--chunk-packets", type=int, default=None,
+                       metavar="N",
+                       help="split every point's packet budget into seeded "
+                            "chunks of N packets — the schedulable, "
+                            "cacheable unit of work, recorded in the "
+                            "manifest; with --workers, the chunks of all "
+                            "points (hot single points included) fan out "
+                            "over the pool (default: one chunk per point, "
+                            "the historical layout)")
     sweep.add_argument("--seed", type=int, default=0, metavar="N",
                        help="engine root seed (default: 0)")
     sweep.add_argument("--generation", choices=("gen1", "gen2"),
@@ -248,7 +259,8 @@ def _engine_from_args(args) -> SweepEngine:
     """Build the sweep engine a ``sweep`` invocation describes."""
     return SweepEngine(generation=args.generation, seed=args.seed,
                        backend=args.backend, quantize=not args.no_quantize,
-                       array_backend=args.array_backend)
+                       array_backend=args.array_backend,
+                       chunk_packets=args.chunk_packets)
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +355,9 @@ def _command_show(args, out) -> int:
           f"{manifest.seed} quantize={manifest.quantize}", file=out)
     print(f"budget    : {manifest.num_packets} packets/point x "
           f"{manifest.payload_bits_per_packet} payload bits", file=out)
+    if manifest.chunk_packets is not None:
+        print(f"chunking  : {manifest.chunk_packets} packets/chunk",
+              file=out)
     print(f"code      : {manifest.code_version}", file=out)
     print(f"coverage  : {measured}/{len(manifest.points)} point(s) measured",
           file=out)

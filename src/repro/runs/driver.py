@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.metrics import BERPoint
-from repro.sim.engine import SweepEngine, SweepPoint, SweepResult
+from repro.sim.engine import (SweepEngine, SweepPoint, SweepResult,
+                              _chunk_spans)
 from repro.runs.store import ResultStore, measurement_key
 from repro.utils.io import atomic_write_text
 from repro.utils.validation import require_int
@@ -72,6 +73,15 @@ class RunManifest:
     backend abstraction existed); :meth:`RunDriver.open` rebuilds the
     engine with it so cached measurements are never mixed across
     backends whose random streams differ.
+
+    ``chunk_packets`` records the run's chunk layout — how each point's
+    packet budget splits into seeded chunks (``None``, the historical
+    default, is one chunk per point).  The layout determines which
+    independent random streams are drawn, so it must be replayed exactly
+    for resumed shards to merge bit-identically; like ``num_packets`` it
+    is coverage, not identity, and is excluded from :meth:`grid_digest`
+    (manifests written before chunking load as ``None`` and old
+    point-level cache entries stay readable).
     """
 
     name: str
@@ -86,11 +96,14 @@ class RunManifest:
     num_shards: int
     code_version: str
     array_backend: str = "numpy"
+    chunk_packets: int | None = None
     points: tuple[SweepPoint, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         require_int(self.num_shards, "num_shards", minimum=1)
         require_int(self.num_packets, "num_packets", minimum=1)
+        if self.chunk_packets is not None:
+            require_int(self.chunk_packets, "chunk_packets", minimum=1)
         require_int(self.payload_bits_per_packet,
                     "payload_bits_per_packet", minimum=1)
         if self.backend not in ("batch", "packet", "fullstack"):
@@ -156,6 +169,7 @@ class RunManifest:
             "num_shards": self.num_shards,
             "code_version": self.code_version,
             "array_backend": self.array_backend,
+            "chunk_packets": self.chunk_packets,
             "points": [_point_to_dict(point) for point in self.points],
         }
 
@@ -179,6 +193,8 @@ class RunManifest:
                 num_shards=int(data["num_shards"]),
                 code_version=str(data["code_version"]),
                 array_backend=str(data.get("array_backend", "numpy")),
+                chunk_packets=(None if data.get("chunk_packets") is None
+                               else int(data["chunk_packets"])),
                 points=tuple(_point_from_dict(point)
                              for point in data["points"]))
         except (KeyError, TypeError) as error:
@@ -218,6 +234,7 @@ class RunReport:
     points_simulated: int = 0
     packets_cached: int = 0
     packets_simulated: int = 0
+    chunks_simulated: int = 0
 
     @property
     def all_cached(self) -> bool:
@@ -245,7 +262,9 @@ class RunReport:
             points_simulated=self.points_simulated + other.points_simulated,
             packets_cached=self.packets_cached + other.packets_cached,
             packets_simulated=(self.packets_simulated
-                               + other.packets_simulated))
+                               + other.packets_simulated),
+            chunks_simulated=(self.chunks_simulated
+                              + other.chunks_simulated))
 
 
 class RunDriver:
@@ -300,6 +319,7 @@ class RunDriver:
             num_shards=num_shards,
             code_version=_code_version(),
             array_backend=engine.array_backend,
+            chunk_packets=engine.chunk_packets,
             points=points)
         if (run_dir / _MANIFEST_NAME).is_file():
             existing = RunManifest.load(run_dir)
@@ -314,16 +334,20 @@ class RunDriver:
                     f"{existing.num_shards} shard(s), not "
                     f"{manifest.num_shards}; the shard plan is fixed at "
                     "creation")
-            if existing.num_packets == manifest.num_packets:
+            if (existing.num_packets == manifest.num_packets
+                    and existing.chunk_packets == manifest.chunk_packets):
                 manifest = existing
             else:
-                # Escalated (or reduced) packet budget on the same grid:
-                # record the new budget and invalidate completion markers —
-                # they certified coverage of the old budget.  The store is
-                # untouched; every cached chunk still counts.
+                # A coverage change on the same grid: record it.  The
+                # store is untouched; every cached chunk still counts.
                 manifest.save(run_dir)
-                for marker in (run_dir / _SHARDS_DIR).glob("*.done"):
-                    marker.unlink()
+                if existing.num_packets != manifest.num_packets:
+                    # Escalated (or reduced) packet budget: invalidate
+                    # completion markers — they certified coverage of the
+                    # old budget.  A mere chunk-layout change keeps them:
+                    # the packets they certify are still covered.
+                    for marker in (run_dir / _SHARDS_DIR).glob("*.done"):
+                        marker.unlink()
         else:
             manifest.save(run_dir)
         return cls(run_dir, manifest, engine)
@@ -346,7 +370,8 @@ class RunDriver:
                                  seed=manifest.seed,
                                  backend=manifest.backend,
                                  quantize=manifest.quantize,
-                                 array_backend=manifest.array_backend)
+                                 array_backend=manifest.array_backend,
+                                 chunk_packets=manifest.chunk_packets)
         return cls(run_dir, manifest, engine)
 
     # ------------------------------------------------------------------
@@ -382,16 +407,21 @@ class RunDriver:
     def run_shard(self, shard_index: int = 0,
                   max_workers: int | None = None,
                   on_point=None) -> RunReport:
-        """Execute one shard: cached points are served, the rest simulated.
+        """Execute one shard: cached chunks are served, the rest simulated.
 
-        ``max_workers`` fans the shard's cache misses out over that many
-        worker processes through
-        :meth:`repro.sim.SweepEngine.measure_points` (shared-memory
-        result transport); results are bit-identical to a serial run.
-        ``on_point`` (optional) is called as ``on_point(point,
-        measurement, source)`` per point in shard order, ``source`` being
-        ``"cached"`` or ``"simulated"``.  Safe to re-run after a crash —
-        every completed point is already in the store and skipped.
+        Each missing point's uncovered tail is decomposed into the
+        manifest's chunk layout; chunks already in the store (even beyond
+        a coverage gap left by a crashed or faulted run) are skipped, so
+        a resume re-runs *only* the missing chunks.  The chunk tasks of
+        all points fan out together when ``max_workers`` is set (through
+        :meth:`repro.sim.SweepEngine.measure_points`, shared-memory
+        input/result transport) — results are bit-identical to a serial
+        run of the same layout, and every completed chunk is persisted
+        even when another chunk's worker fails mid-shard.  ``on_point``
+        (optional) is called as ``on_point(point, measurement, source)``
+        per point in shard order, ``source`` being ``"cached"`` or
+        ``"simulated"``.  Safe to re-run after a crash — completed chunks
+        are already in the store and skipped.
         """
         manifest = self.manifest
         points = manifest.points_for_shard(shard_index)
@@ -403,9 +433,12 @@ class RunDriver:
         payload_bits = manifest.payload_bits_per_packet
 
         resolved: dict[int, BERPoint] = {}
-        jobs: list[tuple[int, SweepPoint, str, int, int]] = []
+        jobs: list[tuple[int, SweepPoint, str, int]] = []
+        chunk_jobs: list[tuple[SweepPoint, int, int]] = []
+        key_by_point: dict[SweepPoint, str] = {}
         for index, point in enumerate(points):
             key = self._key_for(point)
+            key_by_point[point] = key
             cached = store.lookup(key, requested)
             if cached is not None:
                 resolved[index] = cached
@@ -413,22 +446,40 @@ class RunDriver:
                 report.packets_cached += cached.packets_sent
                 continue
             covered = store.coverage(key)
-            jobs.append((index, point, key, covered, requested - covered))
+            stored = store.chunks_for(key)
+            missing = [
+                (offset, packets)
+                for offset, packets in _chunk_spans(
+                    requested - covered, manifest.chunk_packets, covered)
+                if stored.get(offset) != packets]
+            jobs.append((index, point, key, covered))
+            chunk_jobs.extend((point, packets, offset)
+                              for offset, packets in missing)
+            report.packets_cached += covered + sum(
+                packets for offset, packets in stored.items()
+                if offset >= covered)
 
-        chunks = self.engine.measure_points(
-            [(point, missing, covered)
-             for _, point, _, covered, missing in jobs],
-            payload_bits_per_packet=payload_bits,
-            max_workers=max_workers) if jobs else []
+        def persist(point, packet_offset, measurement) -> None:
+            # Store writes stay on the driver thread, in deterministic
+            # schedule order — and they happen for every completed chunk
+            # even when a sibling chunk's failure is about to propagate,
+            # which is what makes a faulted shard resumable.
+            store.add_chunk(key_by_point[point], packet_offset, measurement)
+            report.chunks_simulated += 1
+            report.packets_simulated += measurement.packets_sent
 
-        # Store writes stay on the driver thread, in shard order, so the
-        # shard's JSONL file is deterministic for a given cache state.
-        for (index, point, key, covered, missing), chunk in zip(jobs, chunks):
-            store.add_chunk(key, covered, chunk)
+        if chunk_jobs:
+            # The spans above already realize the manifest's layout; a
+            # chunk size >= any span keeps each one a single chunk, so
+            # the engine's own default layout can never re-split them.
+            self.engine.measure_points(
+                chunk_jobs, payload_bits_per_packet=payload_bits,
+                max_workers=max_workers, chunk_packets=requested,
+                on_chunk=persist)
+
+        for index, point, key, covered in jobs:
             resolved[index] = store.lookup(key, requested)
             report.points_simulated += 1
-            report.packets_simulated += missing
-            report.packets_cached += covered
 
         if on_point is not None:
             simulated = {index for index, *_ in jobs}

@@ -172,6 +172,17 @@ class ResultStore:
         """Every measurement key present in the store, sorted."""
         return tuple(sorted(self._chunks))
 
+    def chunks_for(self, key: str) -> dict[int, int]:
+        """Every stored chunk for ``key`` as ``{packet_offset: num_packets}``.
+
+        Unlike :meth:`coverage` this includes chunks *beyond* a gap —
+        what a resuming driver needs to re-run only the chunks that are
+        actually missing (a fault can leave the store with, say, offsets
+        0 and 8 but not 4; re-simulating offset 8 would be wasted work).
+        """
+        return {chunk.packet_offset: chunk.num_packets
+                for chunk in self._chunks.get(key, ())}
+
     def coverage(self, key: str) -> int:
         """Packets contiguously covered from offset 0 for ``key``."""
         covered = 0

@@ -23,14 +23,23 @@ Array backends: the batch kernel's array operations run on a pluggable
 bit-identical to the historical code), CuPy, or JAX — selected with
 ``array_backend=`` or the ``REPRO_ARRAY_BACKEND`` environment variable.
 
-Parallelism: pass ``max_workers`` to fan grid points out over a
-``concurrent.futures.ProcessPoolExecutor``.  Results return through
-``multiprocessing.shared_memory`` blocks (:mod:`repro.sim.shm`) — one
-block per worker chunk, written in place instead of pickled back — and
-are bit-identical to a serial run; ``shared_memory=False`` falls back to
-the pickling pool.  Scenarios shipped to workers must be picklable —
-every built-in scenario is; custom scenarios should use module-level
-factory functions rather than lambdas.
+Parallelism: the schedulable unit is the seeded *packet chunk* — a
+``(point, num_packets, packet_offset)`` span with its own content-keyed
+random stream.  ``chunk_packets`` splits every point into chunks of that
+size (ragged tail allowed) and ``max_workers`` fans the chunks of *all*
+points out over one ``concurrent.futures.ProcessPoolExecutor``, so a
+single hot point no longer serializes on one core.  Chunk inputs stream
+to workers through a :class:`repro.sim.shm.ChunkTaskBlock` and results
+come back through a :class:`repro.sim.shm.ChunkResultBlock` (written in
+place, never pickled); each chunk fails independently, and completed
+chunks are still harvested when a sibling's worker raises or dies.  For
+a fixed chunk layout, results are bitwise identical however the chunks
+are scheduled — serial, any worker count, any completion order; the
+default layout (``chunk_packets=None``, one chunk per point at offset 0)
+is bit-exact with the historical unchunked engine.  ``shared_memory=
+False`` falls back to the pickling pool.  Scenarios shipped to workers
+must be picklable — every built-in scenario is; custom scenarios should
+use module-level factory functions rather than lambdas.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ import json
 import warnings
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import product
 
 import numpy as np
@@ -50,7 +59,7 @@ from repro.core.metrics import BERCurve, BERPoint
 from repro.sim.backends import ArrayBackend, get_backend
 from repro.sim.batch import BatchedLinkModel
 from repro.sim.scenarios import SCENARIOS, Scenario, ScenarioRegistry
-from repro.sim.shm import ChunkResultBlock, chunk_slices
+from repro.sim.shm import SLOT_OK, ChunkResultBlock, ChunkTaskBlock
 from repro.utils.validation import require_int
 
 __all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
@@ -303,68 +312,150 @@ def _run_point_record(task: _PointTask) -> tuple[BERPoint, np.ndarray]:
 
 def _run_point(task: _PointTask) -> BERPoint:
     """Measure one grid point (the scalar-result variant of
-    :func:`_run_point_record`, used by the pickling transport)."""
+    :func:`_run_point_record`, used by ``measure_point``)."""
     return _run_point_record(task)[0]
 
 
-def _simulate_chunk_into_block(block_name: str, num_slots: int,
-                               max_packets: int, tasks: tuple) -> int:
-    """Worker body for the shared-memory transport: attach to the chunk's
-    block once, measure every task, write each record in place.
+# ----------------------------------------------------------------------
+# Chunk decomposition and scheduling
+# ----------------------------------------------------------------------
+def _chunk_spans(num_packets: int, chunk_packets: int | None,
+                 packet_offset: int = 0) -> tuple[tuple[int, int], ...]:
+    """Split a packet budget into ``(packet_offset, num_packets)`` chunk
+    spans.
 
-    A block sized with ``max_packets=0`` carries scalar records only —
-    the per-packet error vectors are dropped instead of written, so
-    callers that discard them never pay ``/dev/shm`` for them.
+    ``chunk_packets=None`` keeps the budget as one span (the historical
+    unchunked layout); otherwise consecutive spans of ``chunk_packets``
+    packets starting at ``packet_offset``, the last one ragged.  A span is
+    exactly the unit :class:`repro.runs.ResultStore` caches and
+    :func:`_point_spawn_key` seeds, so the decomposition is deterministic
+    for a given ``(num_packets, chunk_packets, packet_offset)`` whatever
+    the scheduling: ``chunk_packets >= num_packets`` degenerates to the
+    unchunked span, bit-exact included.
     """
-    block = ChunkResultBlock.attach(block_name, num_slots, max_packets)
+    require_int(num_packets, "num_packets", minimum=1)
+    require_int(packet_offset, "packet_offset", minimum=0)
+    if chunk_packets is None:
+        return ((packet_offset, num_packets),)
+    require_int(chunk_packets, "chunk_packets", minimum=1)
+    return tuple(
+        (packet_offset + start, min(chunk_packets, num_packets - start))
+        for start in range(0, num_packets, chunk_packets))
+
+
+#: Test-only fault-injection hook.  When set (in the parent process,
+#: before the worker pool forks), it is called as ``hook(task)``
+#: immediately before every chunk task body — on the serial, pickling-pool
+#: and shared-memory paths alike.  Raising (or killing the process) from
+#: it makes exactly that chunk fail, which is how the fault-injection
+#: suite exercises per-chunk isolation.  Never set this outside tests.
+_chunk_task_hook = None
+
+_PROTO_CACHE_LIMIT = 8
+#: Worker-process cache of unpickled task prototypes, keyed by their
+#: ChunkTaskBlock name, so a worker running many chunks of one fan-out
+#: deserializes the prototypes once.
+_proto_cache: dict = {}
+
+
+def _materialize_chunk(prototype: _PointTask, num_packets: int,
+                       packet_offset: int) -> _PointTask:
+    """One chunk task from its point prototype: the chunk's packet budget
+    plus the offset-keyed spawn key that gives it an independent stream."""
+    return replace(prototype, num_packets=int(num_packets),
+                   spawn_key=_point_spawn_key(prototype.point,
+                                              int(packet_offset)))
+
+
+def _run_chunk_task(task: _PointTask) -> tuple[BERPoint, np.ndarray]:
+    """Run one chunk task body (through the fault-injection hook)."""
+    if _chunk_task_hook is not None:
+        _chunk_task_hook(task)
+    return _run_point_record(task)
+
+
+def _run_slot_task(task_block_name: str, result_block_name: str, slot: int,
+                   record_errors: bool) -> int:
+    """Worker body: rebuild chunk task ``slot`` from the shared task
+    block, simulate it, write its record into the shared result block.
+
+    Only two block names and a slot index cross the pickle boundary —
+    the task inputs stream through shared memory, and the per-fan-out
+    prototypes are unpickled once per worker process (``_proto_cache``).
+    """
+    prototypes = _proto_cache.get(task_block_name)
+    with ChunkTaskBlock.attach(task_block_name) as tasks:
+        proto_index, num_packets, packet_offset = tasks.row(slot)
+        if prototypes is None:
+            if len(_proto_cache) >= _PROTO_CACHE_LIMIT:
+                _proto_cache.clear()
+            prototypes = tasks.prototypes()
+            _proto_cache[task_block_name] = prototypes
+    task = _materialize_chunk(prototypes[proto_index], num_packets,
+                              packet_offset)
+    measurement, errors = _run_chunk_task(task)
+    with ChunkResultBlock.attach(result_block_name) as results:
+        results.write_result(slot, measurement,
+                             errors if record_errors else None)
+    return slot
+
+
+def _run_chunks_shared(prototypes, rows, error_packets: int,
+                       max_workers: int) -> tuple[list,
+                                                  BaseException | None]:
+    """Fan chunk tasks over a process pool with shared-memory transport.
+
+    ``rows`` are ``(prototype_index, num_packets, packet_offset)`` chunk
+    tasks; each is submitted as its own future, so chunks from every
+    point interleave freely over the pool and fail independently.
+    Returns ``(records, failure)``: one ``(measurement,
+    errors_per_packet)`` pair per row in row order — ``None`` for a chunk
+    whose worker raised or died (its slot status never flipped, so a
+    half-written record is never read back as garbage) — and the first
+    failure in submission order, or ``None``.  Completed chunks are
+    always harvested, whatever happened to their siblings, and both
+    shared-memory blocks are torn down in a ``finally``.  A block
+    allocation failure raises a ``RuntimeError`` naming the failed
+    allocation before any task runs — tasks are never silently dropped.
+    """
     try:
-        for slot, task in enumerate(tasks):
-            measurement, errors = _run_point_record(task)
-            block.write_result(slot, measurement,
-                               errors if max_packets > 0 else None)
-    finally:
-        block.close()
-    return num_slots
-
-
-def _run_tasks_shared(tasks, max_packets: int,
-                      max_workers: int) -> tuple[list, BaseException | None]:
-    """Fan tasks over a process pool, returning results through
-    shared-memory blocks (one per worker chunk) instead of pickles.
-
-    Returns ``(records, failure)``: ``records`` holds one
-    ``(measurement, errors_per_packet)`` pair per task, in task order
-    (error vectors are empty when ``max_packets`` is 0 — size blocks for
-    them only when the caller keeps them), and ``failure`` is the first
-    worker exception or ``None``.  When a worker chunk fails, its tasks'
-    records are ``None`` but every *completed* chunk is still harvested,
-    so the caller can salvage finished measurements before re-raising.
-    Blocks are torn down deterministically in a ``finally`` whatever the
-    workers did.
-    """
-    chunks = chunk_slices(len(tasks), max_workers)
-    blocks = [ChunkResultBlock.allocate(len(chunk), max_packets)
-              for chunk in chunks]
-    records: list = [None] * len(tasks)
+        task_block = ChunkTaskBlock.pack(prototypes, rows)
+    except OSError as error:
+        raise RuntimeError(
+            f"failed to allocate the shared-memory task block for "
+            f"{len(rows)} chunk task(s): {error}; no chunk was run "
+            "(is /dev/shm full?)") from error
+    result_block = None
     failure: BaseException | None = None
     try:
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
-                pool.submit(_simulate_chunk_into_block, block.name,
-                            len(chunk), max_packets,
-                            tuple(tasks[index] for index in chunk))
-                for chunk, block in zip(chunks, blocks)]
-            for future, chunk, block in zip(futures, chunks, blocks):
+        try:
+            result_block = ChunkResultBlock.allocate(len(rows),
+                                                     error_packets)
+        except OSError as error:
+            raise RuntimeError(
+                f"failed to allocate the shared-memory result block for "
+                f"{len(rows)} chunk task(s) x {error_packets} error "
+                f"word(s): {error}; no chunk was run "
+                "(is /dev/shm full?)") from error
+        workers = min(int(max_workers), len(rows))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_slot_task, task_block.name,
+                                   result_block.name, slot,
+                                   error_packets > 0)
+                       for slot in range(len(rows))]
+            for future in futures:
                 try:
                     future.result()
                 except BaseException as error:  # noqa: BLE001 - re-raised
                     if failure is None:
                         failure = error
-                    continue
-                for slot, index in enumerate(chunk):
-                    records[index] = block.read_result(slot)
+        records = [result_block.read_result(slot)
+                   if result_block.slot_status(slot) == SLOT_OK else None
+                   for slot in range(len(rows))]
     finally:
-        for block in blocks:
+        for block in (task_block, result_block):
+            if block is None:
+                continue
             block.close()
             try:
                 block.unlink()
@@ -402,8 +493,21 @@ class SweepEngine:
     quantize:
         Batch backend only: model AGC + ADC quantization (default on).
     max_workers:
-        When set (> 1), grid points are distributed over that many worker
+        When set (> 1), chunk tasks are distributed over that many worker
         processes (overridable per call via :meth:`run`).
+    chunk_packets:
+        Default chunk layout: every point's packet budget is split into
+        seeded chunks of this many packets (ragged tail allowed), which
+        become the schedulable, cacheable unit of work — a single hot
+        point then scales across the worker pool.  ``None`` (default)
+        keeps one chunk per point, bit-exact with the historical
+        unchunked engine.  The layout shapes *which* independent streams
+        are drawn, so different layouts give statistically equivalent but
+        not bitwise-equal results; for a fixed layout, results are
+        bitwise invariant under scheduling (serial vs. any worker count).
+        Overridable per call via :meth:`run`/:meth:`measure_points`;
+        excluded from :meth:`config_digest` (layout is coverage, not
+        identity — mirroring ``num_packets``).
     array_backend:
         Array backend the batch kernel runs on: ``None`` (the
         ``REPRO_ARRAY_BACKEND`` environment variable, defaulting to the
@@ -425,7 +529,8 @@ class SweepEngine:
                  backend: str = "batch", quantize: bool = True,
                  max_workers: int | None = None,
                  array_backend: str | ArrayBackend | None = None,
-                 shared_memory: bool = True) -> None:
+                 shared_memory: bool = True,
+                 chunk_packets: int | None = None) -> None:
         if generation not in ("gen1", "gen2"):
             raise ValueError("generation must be 'gen1' or 'gen2'")
         if backend not in _BACKENDS:
@@ -433,6 +538,8 @@ class SweepEngine:
                              + ", ".join(repr(name) for name in _BACKENDS))
         if max_workers is not None:
             require_int(max_workers, "max_workers", minimum=1)
+        if chunk_packets is not None:
+            require_int(chunk_packets, "chunk_packets", minimum=1)
         self.config = config
         self.generation = generation
         self.registry = registry if registry is not None else SCENARIOS
@@ -442,6 +549,7 @@ class SweepEngine:
         self.max_workers = max_workers
         self.array_backend = get_backend(array_backend).name
         self.shared_memory = bool(shared_memory)
+        self.chunk_packets = chunk_packets
 
     # ------------------------------------------------------------------
     # Identity hooks (used by the repro.runs result store)
@@ -550,46 +658,149 @@ class SweepEngine:
                                          payload_bits_per_packet,
                                          packet_offset))
 
+    def _chunk_layout(self, chunk_packets) -> int | None:
+        """The effective chunk layout for one call (``None`` = engine's)."""
+        layout = self.chunk_packets if chunk_packets is None \
+            else chunk_packets
+        if layout is not None:
+            require_int(layout, "chunk_packets", minimum=1)
+        return layout
+
+    def _chunk_plan(self, jobs, payload_bits_per_packet: int,
+                    chunk_packets: int | None):
+        """Decompose ``(point, num_packets, packet_offset)`` jobs into the
+        chunk-task schedule.
+
+        Returns ``(prototypes, rows, job_rows)``: one task prototype per
+        distinct point (the expensive part, packed once into the shared
+        task block), ``rows`` of ``(prototype_index, num_packets,
+        packet_offset)`` chunk tasks in schedule order, and per job the
+        row indices (in offset order) whose results merge into that job's
+        measurement.
+        """
+        prototypes: list[_PointTask] = []
+        proto_index: dict[SweepPoint, int] = {}
+        rows: list[tuple[int, int, int]] = []
+        job_rows: list[list[int]] = []
+        for point, num_packets, packet_offset in jobs:
+            index = proto_index.get(point)
+            if index is None:
+                index = len(prototypes)
+                proto_index[point] = index
+                prototypes.append(
+                    self._task_for(point, 1, payload_bits_per_packet, 0))
+            spans = _chunk_spans(int(num_packets), chunk_packets,
+                                 int(packet_offset))
+            job_rows.append(list(range(len(rows), len(rows) + len(spans))))
+            rows.extend((index, packets, offset)
+                        for offset, packets in spans)
+        return prototypes, rows, job_rows
+
+    def _execute_chunks(self, prototypes, rows, error_packets: int,
+                        max_workers: int | None):
+        """Run the chunk-task schedule serially or over a worker pool.
+
+        Returns ``(records, failure)`` exactly like
+        :func:`_run_chunks_shared`; the serial and pickling-pool paths
+        produce the same per-chunk records (same seeds, same layout), so
+        scheduling is bitwise invisible for a fixed chunk layout.  On the
+        serial path a failing chunk stops the schedule (later rows record
+        ``None``); on the pools every chunk fails independently.
+        """
+        if max_workers is not None and max_workers > 1 and len(rows) > 1:
+            if self.shared_memory:
+                return _run_chunks_shared(prototypes, rows, error_packets,
+                                          max_workers)
+            tasks = [_materialize_chunk(prototypes[index], packets, offset)
+                     for index, packets, offset in rows]
+            records: list = []
+            failure: BaseException | None = None
+            with ProcessPoolExecutor(
+                    max_workers=min(max_workers, len(tasks))) as pool:
+                futures = [pool.submit(_run_chunk_task, task)
+                           for task in tasks]
+                for future in futures:
+                    try:
+                        records.append(future.result())
+                    except BaseException as error:  # noqa: BLE001
+                        records.append(None)
+                        if failure is None:
+                            failure = error
+            return records, failure
+        records = []
+        failure = None
+        for index, packets, offset in rows:
+            if failure is not None:
+                records.append(None)
+                continue
+            try:
+                records.append(_run_chunk_task(
+                    _materialize_chunk(prototypes[index], packets, offset)))
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                records.append(None)
+                failure = error
+        return records, failure
+
+    @staticmethod
+    def _merge_rows(records, row_indices) -> BERPoint:
+        """Pool one job's chunk records (offset order) into its BERPoint."""
+        merged = records[row_indices[0]][0]
+        for row_index in row_indices[1:]:
+            merged = merged.merge(records[row_index][0])
+        return merged
+
     def measure_points(self, jobs, payload_bits_per_packet: int = 64,
-                       max_workers: int | None = None) -> list[BERPoint]:
+                       max_workers: int | None = None,
+                       chunk_packets: int | None = None,
+                       on_chunk=None) -> list[BERPoint]:
         """Measure a batch of ``(point, num_packets, packet_offset)`` jobs.
 
-        The bulk form of :meth:`measure_point` — each job is measured
-        exactly as its :meth:`measure_point` call would be (bit-identical
-        results), but the batch can fan out over ``max_workers`` worker
-        processes with shared-memory result transport.  This is the entry
-        point :class:`repro.runs.RunDriver` uses to simulate a shard's
-        cache misses.
+        The bulk form of :meth:`measure_point` — with the default layout
+        each job is measured exactly as its :meth:`measure_point` call
+        would be (bit-identical results).  ``chunk_packets`` (``None``:
+        the engine default) further splits every job into seeded chunks,
+        and the chunks of *all* jobs fan out over one ``max_workers``
+        pool with shared-memory input/result transport — the entry point
+        :class:`repro.runs.RunDriver` uses to simulate a shard's cache
+        misses, and the reason one hot point scales across the pool.
+
+        ``on_chunk`` (optional) is called as ``on_chunk(point,
+        packet_offset, measurement)`` for every *completed* chunk, in
+        deterministic schedule order (job order, then offset order).  On
+        a chunk failure every completed chunk is still delivered before
+        the exception propagates — that is what lets a result store keep
+        partial progress, so a resume re-runs only the missing chunks.
         """
         jobs = list(jobs)
         require_int(payload_bits_per_packet, "payload_bits_per_packet",
                     minimum=1)
         if max_workers is not None:
             require_int(max_workers, "max_workers", minimum=1)
+        layout = self._chunk_layout(chunk_packets)
         for point, num_packets, packet_offset in jobs:
             # Validate before coercing, exactly as measure_point would.
             require_int(num_packets, "num_packets", minimum=1)
             require_int(packet_offset, "packet_offset", minimum=0)
         self._validate_modulations([point for point, _, _ in jobs])
-        tasks = [self._task_for(point, int(num_packets),
-                                payload_bits_per_packet, int(packet_offset))
-                 for point, num_packets, packet_offset in jobs]
-        if max_workers is not None and max_workers > 1 and len(tasks) > 1:
-            if self.shared_memory:
-                # Scalar results only — no per-packet error region.
-                records, failure = _run_tasks_shared(tasks, 0, max_workers)
-                if failure is not None:
-                    raise failure
-            else:
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    return list(pool.map(_run_point, tasks))
-            return [measurement for measurement, _ in records]
-        return [_run_point(task) for task in tasks]
+        prototypes, rows, job_rows = self._chunk_plan(
+            jobs, payload_bits_per_packet, layout)
+        # Scalar results only — no per-packet error region.
+        records, failure = self._execute_chunks(prototypes, rows, 0,
+                                                max_workers)
+        if on_chunk is not None:
+            for (index, _, offset), record in zip(rows, records):
+                if record is not None:
+                    on_chunk(prototypes[index].point, offset, record[0])
+        if failure is not None:
+            raise failure
+        return [self._merge_rows(records, row_indices)
+                for row_indices in job_rows]
 
     def run(self, points, num_packets: int = 32,
             payload_bits_per_packet: int = 64,
             on_result=None, max_workers: int | None = None,
-            collect_errors_per_packet: bool = False) -> SweepResult:
+            collect_errors_per_packet: bool = False,
+            chunk_packets: int | None = None) -> SweepResult:
         """Measure every grid point and return the collected results.
 
         Parameters
@@ -600,22 +811,27 @@ class SweepEngine:
             Monte-Carlo budget per grid point.
         on_result:
             Optional hook called as ``on_result(point, measurement)`` for
-            every grid point, in grid order — what result stores use to
-            persist points without waiting on the caller.  Serial and
-            pickling-pool runs deliver each point as it completes; the
-            shared-memory transport delivers after its worker chunks
-            finish, and on a worker failure still delivers every
-            completed point before the exception propagates.
+            every completed grid point, in grid order — what result
+            stores use to persist points without waiting on the caller.
+            Delivery happens after the chunk schedule finishes; on a
+            chunk failure every point whose chunks all completed is still
+            delivered before the exception propagates.
         max_workers:
-            Overrides the engine-level ``max_workers`` for this call; when
-            the effective value exceeds 1, points fan out over worker
-            processes with shared-memory result transport (see
-            ``shared_memory``).
+            Overrides the engine-level ``max_workers`` for this call;
+            when the effective value exceeds 1, the chunk tasks of all
+            points fan out over worker processes with shared-memory
+            input/result transport (see ``shared_memory``).
         collect_errors_per_packet:
             Also record each point's per-packet bit-error counts in
             ``SweepResult.errors_per_packet`` (transported through shared
             memory on the parallel path, so a million-packet point's
-            error vector never crosses a pickle).
+            error vector never crosses a pickle).  Chunk error vectors
+            concatenate in offset order, identical to the serial order.
+        chunk_packets:
+            Chunk layout override for this call (``None``: the engine's
+            ``chunk_packets``).  Splitting points into chunks lets a
+            single hot point scale across the pool; for a fixed layout
+            the result is bitwise invariant under scheduling.
         """
         points = tuple(points)
         require_int(num_packets, "num_packets", minimum=1)
@@ -626,6 +842,7 @@ class SweepEngine:
                              else max_workers)
         if effective_workers is not None:
             require_int(effective_workers, "max_workers", minimum=1)
+        layout = self._chunk_layout(chunk_packets)
         duplicates = [point for point, count in Counter(points).items()
                       if count > 1]
         if duplicates:
@@ -635,47 +852,28 @@ class SweepEngine:
                 "and return identical measurements — use different seeds "
                 "(or engines) to replicate a point",
                 stacklevel=2)
-        tasks = [self._task_for(point, num_packets, payload_bits_per_packet)
-                 for point in points]
+        prototypes, rows, job_rows = self._chunk_plan(
+            [(point, num_packets, 0) for point in points],
+            payload_bits_per_packet, layout)
+        error_packets = (max(packets for _, packets, _ in rows)
+                         if collect_errors_per_packet and rows else 0)
+        records, failure = self._execute_chunks(prototypes, rows,
+                                                error_packets,
+                                                effective_workers)
         result = SweepResult()
-
-        def record(point, measurement, errors) -> None:
+        for point, row_indices in zip(points, job_rows):
+            parts = [records[row_index] for row_index in row_indices]
+            if any(part is None for part in parts):
+                continue    # a chunk of this point failed; salvage others
+            merged = self._merge_rows(records, row_indices)
             if on_result is not None:
-                on_result(point, measurement)
-            result.entries.append((point, measurement))
-            if collect_errors_per_packet and errors is not None:
+                on_result(point, merged)
+            result.entries.append((point, merged))
+            if collect_errors_per_packet:
                 result.errors_per_packet[point] = tuple(
-                    int(count) for count in errors)
-
-        if effective_workers is not None and effective_workers > 1 \
-                and len(tasks) > 1:
-            if self.shared_memory:
-                error_region = (num_packets if collect_errors_per_packet
-                                else 0)
-                records, failure = _run_tasks_shared(tasks, error_region,
-                                                     effective_workers)
-                for point, chunk_record in zip(points, records):
-                    if chunk_record is not None:
-                        record(point, *chunk_record)
-                if failure is not None:
-                    raise failure
-            elif collect_errors_per_packet:
-                with ProcessPoolExecutor(
-                        max_workers=effective_workers) as pool:
-                    for point, (measurement, errors) in zip(
-                            points, pool.map(_run_point_record, tasks)):
-                        record(point, measurement, errors)
-            else:
-                with ProcessPoolExecutor(
-                        max_workers=effective_workers) as pool:
-                    for point, measurement in zip(points,
-                                                  pool.map(_run_point,
-                                                           tasks)):
-                        record(point, measurement, None)
-        else:
-            for point, task in zip(points, tasks):
-                measurement, errors = _run_point_record(task)
-                record(point, measurement, errors)
+                    int(count) for _, errors in parts for count in errors)
+        if failure is not None:
+            raise failure
         return result
 
     def ber_curve(self, ebn0_values_db, scenario: str = "awgn",

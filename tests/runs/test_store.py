@@ -82,6 +82,16 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="different measurement"):
             store.add_chunk(KEY_A, 0, make_point(bit_errors=4))
 
+    def test_chunks_for_reports_every_stored_chunk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.chunks_for(KEY_A) == {}
+        store.add_chunk(KEY_A, 0, make_point(packets_sent=10))
+        # A chunk beyond a coverage gap still shows up — resume logic
+        # uses this map to avoid re-running it.
+        store.add_chunk(KEY_A, 20, make_point(packets_sent=5))
+        assert store.chunks_for(KEY_A) == {0: 10, 20: 5}
+        assert store.coverage(KEY_A) == 10
+
 
 class TestMultiWriter:
     def test_all_jsonl_files_load(self, tmp_path):

@@ -26,9 +26,12 @@ class TestChunkSlices:
     def test_single_chunk(self):
         assert chunk_slices(4, 1) == ((0, 1, 2, 3),)
 
+    def test_zero_items_yields_no_chunks(self):
+        assert chunk_slices(0, 2) == ()
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            chunk_slices(0, 2)
+            chunk_slices(-1, 2)
         with pytest.raises(ValueError):
             chunk_slices(4, 0)
 
@@ -56,7 +59,10 @@ class TestChunkResultBlock:
     def test_attach_sees_writes_and_never_unlinks(self):
         owner = ChunkResultBlock.allocate(2, 4)
         try:
-            reader = ChunkResultBlock.attach(owner.name, 2, 4)
+            # Dimensions travel in the block header: a reader needs only
+            # the segment name.
+            reader = ChunkResultBlock.attach(owner.name)
+            assert (reader.num_slots, reader.max_packets) == (2, 4)
             owner.write_result(0, _point(), np.arange(4))
             measurement, errors = reader.read_result(0)
             assert measurement == _point()
@@ -88,8 +94,53 @@ class TestChunkResultBlock:
 
     def test_record_layout_constant(self):
         # The layout is an interprocess contract; changing RECORD_WORDS
-        # silently would corrupt mixed-version reads.
-        assert RECORD_WORDS == 6
+        # silently would corrupt mixed-version reads.  7 = status word +
+        # the six measurement fields.
+        assert RECORD_WORDS == 7
+
+    def test_unwritten_slot_reads_as_empty_not_garbage(self):
+        with ChunkResultBlock.allocate(2, 2) as block:
+            block.write_result(0, _point(), None)
+            from repro.sim.shm import SLOT_EMPTY, SLOT_OK
+            assert block.slot_status(0) == SLOT_OK
+            assert block.slot_status(1) == SLOT_EMPTY
+            with pytest.raises(ValueError, match="no completed record"):
+                block.read_result(1)
+
+
+class TestChunkTaskBlock:
+    def test_pack_attach_round_trip(self):
+        from repro.sim.shm import ChunkTaskBlock
+        prototypes = ({"point": "a"}, {"point": "b"})
+        rows = [(0, 100, 0), (0, 100, 100), (1, 37, 0)]
+        with ChunkTaskBlock.pack(prototypes, rows) as owner:
+            assert owner.num_rows == 3
+            reader = ChunkTaskBlock.attach(owner.name)
+            try:
+                assert reader.prototypes() == prototypes
+                assert [reader.row(index) for index in range(3)] == rows
+                with pytest.raises(ValueError, match="out of range"):
+                    reader.row(3)
+                with pytest.raises(RuntimeError, match="only the allocating"):
+                    reader.unlink()
+            finally:
+                reader.close()
+
+    def test_pack_validates_rows(self):
+        from repro.sim.shm import ChunkTaskBlock
+        with pytest.raises(ValueError, match="zero tasks"):
+            ChunkTaskBlock.pack(({},), [])
+        with pytest.raises(ValueError, match="references prototype"):
+            ChunkTaskBlock.pack(({},), [(1, 4, 0)])
+
+    def test_closed_block_refuses_access(self):
+        from repro.sim.shm import ChunkTaskBlock
+        block = ChunkTaskBlock.pack(("proto",), [(0, 2, 0)])
+        block.close()
+        with pytest.raises(ValueError, match="closed"):
+            block.prototypes()
+        block.close()   # idempotent
+        block.unlink()
 
 
 class TestSharedMemoryFanOut:
@@ -182,8 +233,8 @@ class TestWorkerFailureSalvage:
                                                       scenario="poison"),
                   SweepPoint(ebn0_db=6.0), SweepPoint(ebn0_db=8.0,
                                                       scenario="poison"))
-        # max_workers=2 round-robins chunks (0, 2) and (1, 3): the poison
-        # scenario kills chunk 1 only.
+        # Every point is its own chunk task; the poison scenario kills the
+        # tasks of points 1 and 3 only, independently of worker layout.
         seen = []
         with pytest.raises(RuntimeError, match="poisoned grid point"):
             engine.run(points, num_packets=4, max_workers=2,
