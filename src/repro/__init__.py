@@ -26,6 +26,10 @@ The package is organized by subsystem:
 * :mod:`repro.runs` — persistent sweep runs: the content-addressed result
   store, the sharded/resumable run driver, curve artifacts and the
   ``python -m repro`` CLI.
+* :mod:`repro.obs` — dependency-free run telemetry: spans/counters/gauges,
+  the per-run event ledger (``events.jsonl`` + ``telemetry.json``), live
+  CLI progress and the ``python -m repro report`` renderer.  Off by
+  default and bitwise invisible to results.
 * :mod:`repro.prototype` — the discrete prototype platform and the
   modulation-scheme comparison.
 
@@ -40,7 +44,7 @@ Quick start::
 
 # Defined before the subpackage imports so modules imported below (e.g.
 # repro.runs.driver) can read the version during package initialization.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro import (
     adc,
@@ -48,6 +52,7 @@ from repro import (
     constants,
     core,
     dsp,
+    obs,
     phy,
     power,
     prototype,
@@ -65,6 +70,7 @@ __all__ = [
     "constants",
     "core",
     "dsp",
+    "obs",
     "phy",
     "power",
     "prototype",

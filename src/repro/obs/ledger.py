@@ -1,0 +1,201 @@
+"""Per-run telemetry event ledger and aggregated summary.
+
+Every telemetry-enabled :meth:`repro.runs.RunDriver.run_shard` call
+flushes its :class:`~repro.obs.recorder.Recorder` into two artifacts in
+the run directory, next to ``manifest.json``:
+
+``events.jsonl``
+    The append-only raw ledger — one JSON event per line, appended as a
+    single ``O_APPEND`` write + fsync per batch (the same discipline as
+    the result store), so concurrent shard processes never interleave
+    partial lines and a crash loses at most the final batch.  Because
+    the driver flushes in a ``finally`` block, a crashed run still
+    leaves the events recorded up to the failure on disk — the partial
+    ledger is valid and :func:`EventLedger.read` tolerates a truncated
+    tail line.
+
+``telemetry.json``
+    The aggregated summary (:func:`summarize` of the *whole* ledger,
+    re-derived atomically after every append): span statistics, counter
+    totals, last/max gauges.  ``repro report`` renders either artifact;
+    dashboards can poll this one cheaply.
+
+Events follow schema version 1 (see
+:data:`repro.obs.recorder.EVENT_SCHEMA_VERSION`): every event carries
+``schema``/``kind``/``name``/``ts``/``pid``/``attrs``, spans add
+``duration_s`` and counters/gauges add ``value``.  :func:`validate_event`
+is the single source of truth for that shape — CI validates smoke-run
+ledgers with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.recorder import EVENT_SCHEMA_VERSION
+from repro.utils.io import atomic_write_text
+
+__all__ = [
+    "LEDGER_NAME",
+    "SUMMARY_NAME",
+    "EventLedger",
+    "summarize",
+    "validate_event",
+    "write_summary",
+]
+
+#: File name of the raw event ledger inside a run directory.
+LEDGER_NAME = "events.jsonl"
+
+#: File name of the aggregated telemetry summary inside a run directory.
+SUMMARY_NAME = "telemetry.json"
+
+_KINDS = ("span", "counter", "gauge")
+
+
+def validate_event(event) -> None:
+    """Raise ``ValueError`` unless ``event`` is a valid schema-1 event.
+
+    Checks the common envelope (``schema`` == 1, known ``kind``,
+    non-empty ``name``, numeric ``ts``, integer ``pid``, dict ``attrs``)
+    plus the kind-specific payload (``duration_s`` for spans, ``value``
+    for counters and gauges), and that the whole event is JSON-safe.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be a dict, got {type(event).__name__}")
+    if event.get("schema") != EVENT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported event schema {event.get('schema')!r} "
+                         f"(expected {EVENT_SCHEMA_VERSION})")
+    kind = event.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"event name must be a non-empty string, "
+                         f"got {name!r}")
+    if not isinstance(event.get("ts"), (int, float)):
+        raise ValueError(f"event ts must be numeric, got {event.get('ts')!r}")
+    if not isinstance(event.get("pid"), int):
+        raise ValueError(f"event pid must be an int, got {event.get('pid')!r}")
+    if not isinstance(event.get("attrs"), dict):
+        raise ValueError(f"event attrs must be a dict, "
+                         f"got {event.get('attrs')!r}")
+    if kind == "span":
+        if not isinstance(event.get("duration_s"), (int, float)):
+            raise ValueError(f"span event needs a numeric duration_s, "
+                             f"got {event.get('duration_s')!r}")
+    elif not isinstance(event.get("value"), (int, float)):
+        raise ValueError(f"{kind} event needs a numeric value, "
+                         f"got {event.get('value')!r}")
+    try:
+        json.dumps(event)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"event is not JSON-serializable: {error}") from None
+
+
+class EventLedger:
+    """The append-only ``events.jsonl`` file of one run directory."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, events) -> int:
+        """Validate and append a batch of events; returns the count.
+
+        The whole batch goes out as one ``os.write`` on an ``O_APPEND``
+        descriptor followed by fsync — atomic with respect to concurrent
+        shard appenders, durable up to the last completed batch.
+        """
+        events = list(events)
+        if not events:
+            return 0
+        lines = []
+        for event in events:
+            validate_event(event)
+            lines.append(json.dumps(event, sort_keys=True))
+        payload = "\n".join(lines) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(self.path,
+                             os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(descriptor, payload.encode("utf-8"))
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+        return len(events)
+
+    def read(self) -> tuple[list[dict], int]:
+        """Load the ledger; returns ``(events, corrupt_count)``.
+
+        Corrupt or truncated lines (e.g. the tail of a crashed write)
+        are skipped and counted, never fatal — mirroring the result
+        store's damaged-cache policy.
+        """
+        if not self.path.exists():
+            return [], 0
+        events: list[dict] = []
+        corrupt = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                    validate_event(event)
+                except (json.JSONDecodeError, ValueError):
+                    corrupt += 1
+                    continue
+                events.append(event)
+        return events, corrupt
+
+
+def summarize(events) -> dict:
+    """Aggregate a ledger into the ``telemetry.json`` payload.
+
+    Returns ``{"schema", "events", "spans", "counters", "gauges"}``:
+    per-span-name count/total/min/max/mean seconds, per-counter-name
+    totals, per-gauge-name last and max values.
+    """
+    spans: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, dict] = {}
+    count = 0
+    for event in events:
+        count += 1
+        kind = event["kind"]
+        name = event["name"]
+        if kind == "span":
+            entry = spans.setdefault(name, {
+                "count": 0, "total_s": 0.0,
+                "min_s": float("inf"), "max_s": 0.0})
+            duration = float(event["duration_s"])
+            entry["count"] += 1
+            entry["total_s"] += duration
+            entry["min_s"] = min(entry["min_s"], duration)
+            entry["max_s"] = max(entry["max_s"], duration)
+        elif kind == "counter":
+            counters[name] = counters.get(name, 0) + event["value"]
+        else:
+            value = float(event["value"])
+            entry = gauges.setdefault(name, {"last": value, "max": value})
+            entry["last"] = value
+            entry["max"] = max(entry["max"], value)
+    for entry in spans.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return {"schema": EVENT_SCHEMA_VERSION, "events": count,
+            "spans": spans, "counters": counters, "gauges": gauges}
+
+
+def write_summary(path, events) -> dict:
+    """Atomically write :func:`summarize` of ``events`` to ``path``.
+
+    Returns the summary payload.  Atomic (temp file + rename) so a
+    dashboard polling ``telemetry.json`` never reads a torn file.
+    """
+    summary = summarize(events)
+    atomic_write_text(path, json.dumps(summary, sort_keys=True, indent=2)
+                      + "\n")
+    return summary

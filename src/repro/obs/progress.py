@@ -1,0 +1,122 @@
+"""Live single-line CLI progress for chunked sweeps.
+
+:class:`ProgressLine` renders a carriage-return-rewritten status line to
+``stderr`` (so it never pollutes piped CLI output) while
+``python -m repro sweep --progress`` runs::
+
+    sweep: 7/12 chunks | 3/5 points | 1842 pkt/s | cache 40%
+
+It is driven by the same callbacks the run driver already exposes —
+``on_chunk`` fires per completed simulated chunk, ``on_point`` per
+finished grid point (cached or simulated) — plus one ``on_plan`` call
+after cache resolution that tells it how much work was scheduled vs
+served from cache.  Rendering is rate-limited (default 10 Hz) and the
+class degrades gracefully on non-TTY streams (it still writes, CI logs
+show the final line).  Purely presentational: it never touches the
+simulation or its random streams.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """A ``\\r``-rewritten one-line progress display for a sweep shard.
+
+    Parameters
+    ----------
+    points_total:
+        Number of grid points in the shard (denominator of the point
+        readout).
+    label:
+        Prefix for the line (default ``"sweep"``).
+    stream:
+        Text stream to write to (default ``sys.stderr``).
+    clock:
+        Monotonic clock used for throughput and render rate-limiting
+        (injectable for tests).
+    min_interval_s:
+        Minimum seconds between renders; the final :meth:`close` render
+        always happens.
+    """
+
+    def __init__(self, points_total: int, label: str = "sweep",
+                 stream=None, clock=time.monotonic,
+                 min_interval_s: float = 0.1) -> None:
+        self.points_total = int(points_total)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._min_interval = float(min_interval_s)
+        self._start = clock()
+        self._last_render = -float("inf")
+        self._chunks_total = None
+        self._chunks_done = 0
+        self._points_done = 0
+        self._points_cached = 0
+        self._packets_simulated = 0
+        self._packets_cached = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Driver callbacks
+    # ------------------------------------------------------------------
+    def plan(self, num_chunks: int, packets_cached: int = 0) -> None:
+        """Record the schedule: chunks to simulate and packets already
+        served from cache (called once after cache resolution)."""
+        self._chunks_total = int(num_chunks)
+        self._packets_cached += int(packets_cached)
+        self._render()
+
+    def chunk(self, point, packet_offset: int, measurement) -> None:
+        """Record one freshly simulated chunk (an ``on_chunk`` event)."""
+        self._chunks_done += 1
+        self._packets_simulated += int(measurement.packets_sent)
+        self._render()
+
+    def point(self, point, measurement, source: str = "simulated") -> None:
+        """Record one finished grid point; ``source`` is ``"cached"``
+        when it was served entirely from the store."""
+        self._points_done += 1
+        if source == "cached":
+            self._points_cached += 1
+        self._render()
+
+    def close(self) -> None:
+        """Force a final render and terminate the line with a newline."""
+        if self._closed:
+            return
+        self._closed = True
+        self._render(force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The current status line (without the leading ``\\r``)."""
+        parts = [self.label + ":"]
+        if self._chunks_total is not None:
+            parts.append(f"{self._chunks_done}/{self._chunks_total} chunks")
+        parts.append(f"{self._points_done}/{self.points_total} points")
+        elapsed = self._clock() - self._start
+        if elapsed > 0 and self._packets_simulated:
+            parts.append(f"{self._packets_simulated / elapsed:.0f} pkt/s")
+        total_packets = self._packets_simulated + self._packets_cached
+        if total_packets:
+            share = 100.0 * self._packets_cached / total_packets
+            parts.append(f"cache {share:.0f}%")
+        return " ".join(parts[:1]) + " " + " | ".join(parts[1:])
+
+    def _render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        self.stream.write("\r\x1b[K" + self.render())
+        self.stream.flush()

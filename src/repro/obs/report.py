@@ -1,0 +1,183 @@
+"""Render a run's telemetry ledger as a human-readable report.
+
+Backs ``python -m repro report <run_dir>``: loads ``events.jsonl`` from
+the run directory (tolerating a truncated tail, see
+:class:`repro.obs.ledger.EventLedger`) and renders
+
+* a per-span timing table (count, total, mean, min, max),
+* an ASCII latency histogram over ``chunk.run`` spans,
+* a per-scenario throughput table (packets simulated / chunk seconds),
+* the top-k slowest chunks with their identity (point digest, Eb/N0,
+  packet offset) — the first place to look when one scenario drags a
+  whole sweep, and
+* counter totals and gauge last/max values.
+
+Everything is derived from the ledger alone, so the report works on
+live, finished, and crashed runs alike.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.ledger import LEDGER_NAME, EventLedger, summarize
+
+__all__ = ["load_run_events", "render_report"]
+
+_CHUNK_SPAN = "chunk.run"
+_HISTOGRAM_BUCKETS = 8
+_HISTOGRAM_WIDTH = 30
+
+
+def load_run_events(run_dir) -> tuple[list[dict], int]:
+    """Load the event ledger of a run directory.
+
+    Returns ``(events, corrupt_count)``.  Raises ``FileNotFoundError``
+    when the run has no ``events.jsonl`` (telemetry was off).
+    """
+    path = Path(run_dir) / LEDGER_NAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no {LEDGER_NAME} in {run_dir} — run the sweep with "
+            f"--telemetry to record one")
+    return EventLedger(path).read()
+
+
+def render_report(events, top_k: int = 5) -> str:
+    """The full text report for a ledger's events."""
+    summary = summarize(events)
+    chunk_spans = [event for event in events
+                   if event["kind"] == "span" and event["name"] == _CHUNK_SPAN]
+    sections = [
+        _render_span_table(summary["spans"]),
+        _render_histogram(chunk_spans),
+        _render_throughput(chunk_spans),
+        _render_slowest(chunk_spans, top_k),
+        _render_counters(summary["counters"]),
+        _render_gauges(summary["gauges"]),
+    ]
+    body = "\n\n".join(section for section in sections if section)
+    if not body:
+        return f"no events ({summary['events']} recorded)\n"
+    return body + "\n"
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _render_span_table(spans: dict) -> str:
+    if not spans:
+        return ""
+    rows = [(name, str(stats["count"]), _seconds(stats["total_s"]),
+             _seconds(stats["mean_s"]), _seconds(stats["min_s"]),
+             _seconds(stats["max_s"]))
+            for name, stats in sorted(spans.items())]
+    return _table("spans",
+                  ("name", "count", "total", "mean", "min", "max"), rows)
+
+def _render_histogram(chunk_spans: list) -> str:
+    if not chunk_spans:
+        return ""
+    durations = [float(event["duration_s"]) for event in chunk_spans]
+    low, high = min(durations), max(durations)
+    span = high - low
+    if span <= 0:
+        # Degenerate: every chunk took the same time -> one full bucket.
+        edges = [(low, high)]
+        counts = [len(durations)]
+    else:
+        width = span / _HISTOGRAM_BUCKETS
+        edges = [(low + i * width, low + (i + 1) * width)
+                 for i in range(_HISTOGRAM_BUCKETS)]
+        counts = [0] * _HISTOGRAM_BUCKETS
+        for duration in durations:
+            index = min(int((duration - low) / width), _HISTOGRAM_BUCKETS - 1)
+            counts[index] += 1
+    peak = max(counts)
+    lines = [f"chunk latency ({len(durations)} chunk(s))"]
+    for (start, stop), count in zip(edges, counts):
+        bar = "#" * round(_HISTOGRAM_WIDTH * count / peak) if count else ""
+        lines.append(f"  {_seconds(start):>9} - {_seconds(stop):>9} "
+                     f"|{bar:<{_HISTOGRAM_WIDTH}}| {count}")
+    return "\n".join(lines)
+
+def _render_throughput(chunk_spans: list) -> str:
+    if not chunk_spans:
+        return ""
+    by_scenario: dict[str, dict] = {}
+    for event in chunk_spans:
+        attrs = event["attrs"]
+        scenario = str(attrs.get("scenario", "?"))
+        entry = by_scenario.setdefault(
+            scenario, {"chunks": 0, "packets": 0, "seconds": 0.0})
+        entry["chunks"] += 1
+        entry["packets"] += int(attrs.get("packets", 0))
+        entry["seconds"] += float(event["duration_s"])
+    rows = []
+    for scenario, entry in sorted(by_scenario.items()):
+        rate = (entry["packets"] / entry["seconds"]
+                if entry["seconds"] > 0 else 0.0)
+        rows.append((scenario, str(entry["chunks"]), str(entry["packets"]),
+                     _seconds(entry["seconds"]), f"{rate:.0f}"))
+    return _table("throughput by scenario",
+                  ("scenario", "chunks", "packets", "time", "pkt/s"), rows)
+
+def _render_slowest(chunk_spans: list, top_k: int) -> str:
+    if not chunk_spans or top_k <= 0:
+        return ""
+    slowest = sorted(chunk_spans, key=lambda e: float(e["duration_s"]),
+                     reverse=True)[:top_k]
+    rows = []
+    for event in slowest:
+        attrs = event["attrs"]
+        rows.append((_seconds(float(event["duration_s"])),
+                     str(attrs.get("point", "?")),
+                     str(attrs.get("scenario", "?")),
+                     str(attrs.get("ebn0_db", "?")),
+                     str(attrs.get("packet_offset", "?")),
+                     str(attrs.get("packets", "?"))))
+    return _table(f"slowest {len(rows)} chunk(s)",
+                  ("time", "point", "scenario", "ebn0", "offset", "packets"),
+                  rows)
+
+def _render_counters(counters: dict) -> str:
+    if not counters:
+        return ""
+    rows = [(name, _number(value)) for name, value in sorted(counters.items())]
+    return _table("counters", ("name", "total"), rows)
+
+def _render_gauges(gauges: dict) -> str:
+    if not gauges:
+        return ""
+    rows = [(name, _number(entry["last"]), _number(entry["max"]))
+            for name, entry in sorted(gauges.items())]
+    return _table("gauges", ("name", "last", "max"), rows)
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers
+# ----------------------------------------------------------------------
+def _table(title: str, header: tuple, rows: list) -> str:
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  " + "  ".join(cell.ljust(width)
+                                  for cell, width in zip(header, widths)))
+    lines.append("  " + "  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  " + "  ".join(cell.ljust(width)
+                                      for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+def _number(value: float) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return f"{number:.3g}"

@@ -22,7 +22,13 @@ Subcommands:
     a named CSV/JSON artifact under ``<run>/artifacts/``.
 
 ``show``
-    Print a run's manifest summary, per-shard status and cache coverage.
+    Print a run's manifest summary, per-shard chunk/cache status and
+    coverage.
+
+``report``
+    Render a run's telemetry ledger (``events.jsonl``, recorded with
+    ``--telemetry``): per-span timing, a chunk latency histogram,
+    per-scenario throughput, the slowest chunks.
 
 Grid axes accept comma-separated lists (``--scenario awgn,cm1``); the
 Eb/N0 axis also accepts ``start:stop[:step]`` with an *inclusive* stop
@@ -32,7 +38,9 @@ selects the array backend the batch kernel runs on; ``--workers N``
 fans cache misses over worker processes with shared-memory chunk
 transport, and ``--chunk-packets N`` makes the seeded packet chunk the
 unit of scheduling and caching so even a single hot point spreads over
-the pool.
+the pool.  ``--progress`` draws a live one-line status on stderr and
+``--telemetry`` records the run's event ledger (both off by default;
+neither changes results — telemetry is bitwise invisible).
 """
 
 from __future__ import annotations
@@ -42,6 +50,10 @@ import sys
 
 import numpy as np
 
+from repro.obs.ledger import LEDGER_NAME, SUMMARY_NAME
+from repro.obs.progress import ProgressLine
+from repro.obs.recorder import Recorder
+from repro.obs.report import load_run_events, render_report
 from repro.runs.artifacts import export_curves
 from repro.runs.driver import RunDriver, RunManifest
 from repro.runs.store import ResultStore
@@ -216,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulate cache misses on N worker processes "
                             "(results return through shared memory, "
                             "bit-identical to serial; default: serial)")
+    _add_obs_arguments(sweep)
 
     resume = commands.add_parser(
         "resume", help="finish every incomplete shard of an existing run")
@@ -224,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--workers", type=int, default=None, metavar="N",
                         help="simulate cache misses on N worker processes "
                              "(shared-memory transport; default: serial)")
+    _add_obs_arguments(resume)
 
     merge = commands.add_parser(
         "merge", help="merge shard outputs and export a curve artifact")
@@ -239,7 +253,27 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="print a run's manifest, shard status and coverage")
     show.add_argument("--run", required=True, metavar="DIR",
                       help="run directory (as printed by sweep)")
+
+    report = commands.add_parser(
+        "report", help="render a run's telemetry ledger (needs a sweep "
+                       "or resume recorded with --telemetry)")
+    report.add_argument("run", metavar="DIR",
+                        help="run directory holding events.jsonl")
+    report.add_argument("--top", type=int, default=5, metavar="K",
+                        help="how many slowest chunks to list (default: 5)")
     return parser
+
+
+def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to sweep/resume."""
+    command.add_argument("--progress", action="store_true",
+                         help="draw a live one-line chunk/point/throughput "
+                              "status on stderr while the shard runs")
+    command.add_argument("--telemetry", action="store_true",
+                         help="record spans and counters into the run's "
+                              "events.jsonl + telemetry.json; results are "
+                              "bitwise identical with or without it "
+                              "(render with: python -m repro report)")
 
 
 # ----------------------------------------------------------------------
@@ -257,10 +291,40 @@ def _print_curves(result, out) -> None:
 
 def _engine_from_args(args) -> SweepEngine:
     """Build the sweep engine a ``sweep`` invocation describes."""
+    recorder = Recorder() if args.telemetry else None
     return SweepEngine(generation=args.generation, seed=args.seed,
                        backend=args.backend, quantize=not args.no_quantize,
                        array_backend=args.array_backend,
-                       chunk_packets=args.chunk_packets)
+                       chunk_packets=args.chunk_packets,
+                       recorder=recorder)
+
+
+def _progress_for(args, points_total: int) -> ProgressLine | None:
+    """A live progress line when ``--progress`` was given, else ``None``."""
+    if not args.progress:
+        return None
+    return ProgressLine(points_total=points_total)
+
+
+def _run_shard_with_progress(driver, shard_index, args) -> "RunReport":
+    """Execute one shard, driving the optional ``--progress`` line."""
+    progress = _progress_for(
+        args, len(driver.manifest.points_for_shard(shard_index)))
+    if progress is None:
+        return driver.run_shard(shard_index, max_workers=args.workers)
+    try:
+        return driver.run_shard(
+            shard_index, max_workers=args.workers,
+            on_plan=progress.plan, on_chunk=progress.chunk,
+            on_point=progress.point)
+    finally:
+        progress.close()
+
+
+def _print_telemetry_notice(args, run_dir, out) -> None:
+    if args.telemetry:
+        print(f"telemetry: {LEDGER_NAME} + {SUMMARY_NAME} written; render "
+              f"with: python -m repro report {run_dir}", file=out)
 
 
 # ----------------------------------------------------------------------
@@ -291,8 +355,9 @@ def _command_sweep(args, out) -> int:
     print(f"run: {run_dir} (grid {manifest.grid_digest()[:12]}, "
           f"seed {manifest.seed}, {len(manifest.points)} point(s), "
           f"{manifest.num_packets} packets/point)", file=out)
-    report = driver.run_shard(shard_index, max_workers=args.workers)
+    report = _run_shard_with_progress(driver, shard_index, args)
     print(report.summary(), file=out)
+    _print_telemetry_notice(args, run_dir, out)
     if driver.is_complete:
         print(f"run complete: all {manifest.num_shards} shard(s) done; "
               f"merge with: python -m repro merge --run {run_dir}",
@@ -306,14 +371,19 @@ def _command_sweep(args, out) -> int:
 
 def _command_resume(args, out) -> int:
     driver = RunDriver.open(args.run)
+    if args.telemetry:
+        # The engine is rebuilt from the manifest, so attach the recorder
+        # after the fact (it is excluded from the config digest).
+        driver.engine.recorder = Recorder()
     pending = driver.pending_shards()
     if not pending:
         print(f"run {args.run}: nothing to resume, all "
               f"{driver.manifest.num_shards} shard(s) done", file=out)
         return 0
     for shard_index in pending:
-        report = driver.run_shard(shard_index, max_workers=args.workers)
+        report = _run_shard_with_progress(driver, shard_index, args)
         print(report.summary(), file=out)
+    _print_telemetry_notice(args, driver.run_dir, out)
     print(f"run complete: all {driver.manifest.num_shards} shard(s) done",
           file=out)
     return 0
@@ -364,10 +434,31 @@ def _command_show(args, out) -> int:
     if store.corrupt_records:
         print(f"warning   : {store.corrupt_records} corrupt store "
               "record(s) skipped", file=out)
-    for shard_index, status in sorted(driver.shard_status().items()):
-        print(f"shard {shard_index:>3} : {status}", file=out)
+    progress = driver.shard_progress()
+    total_chunks = sum(entry["chunks_stored"] for entry in progress.values())
+    total_packets = sum(entry["packets_stored"]
+                        for entry in progress.values())
+    print(f"store     : {total_chunks} chunk(s) holding {total_packets} "
+          f"packet(s)", file=out)
+    for shard_index, entry in sorted(progress.items()):
+        print(f"shard {shard_index:>3} : {entry['status']} "
+              f"({entry['points_measured']}/{entry['points_total']} "
+              f"point(s), {entry['chunks_stored']} chunk(s), "
+              f"{entry['packets_stored']} packet(s))", file=out)
+    if (driver.run_dir / LEDGER_NAME).is_file():
+        print(f"telemetry : {LEDGER_NAME} present; render with: "
+              f"python -m repro report {driver.run_dir}", file=out)
     if measured:
         _print_curves(driver.merge(strict=False), out)
+    return 0
+
+
+def _command_report(args, out) -> int:
+    events, corrupt = load_run_events(args.run)
+    if corrupt:
+        print(f"warning: {corrupt} corrupt ledger line(s) skipped",
+              file=sys.stderr)
+    print(render_report(events, top_k=args.top), file=out)
     return 0
 
 
@@ -377,7 +468,8 @@ def main(argv=None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = {"sweep": _command_sweep, "resume": _command_resume,
-               "merge": _command_merge, "show": _command_show}[args.command]
+               "merge": _command_merge, "show": _command_show,
+               "report": _command_report}[args.command]
     try:
         return handler(args, out)
     except (ValueError, KeyError, FileNotFoundError) as error:

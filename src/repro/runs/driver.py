@@ -31,6 +31,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.metrics import BERPoint
+from repro.obs.ledger import (LEDGER_NAME, SUMMARY_NAME, EventLedger,
+                              write_summary)
+from repro.obs.recorder import activate
 from repro.sim.engine import (SweepEngine, SweepPoint, SweepResult,
                               _chunk_spans)
 from repro.runs.store import ResultStore, measurement_key
@@ -247,7 +250,8 @@ class RunReport:
                 f"{self.points_total} point(s) -> "
                 f"{self.points_simulated} simulated, "
                 f"{self.points_cached} cached "
-                f"({self.packets_simulated} packets simulated, "
+                f"({self.packets_simulated} packets simulated in "
+                f"{self.chunks_simulated} chunk(s), "
                 f"{self.packets_cached} served from cache)")
         if self.points_total and self.all_cached:
             text += " [all points served from cache]"
@@ -406,7 +410,7 @@ class RunDriver:
     # ------------------------------------------------------------------
     def run_shard(self, shard_index: int = 0,
                   max_workers: int | None = None,
-                  on_point=None) -> RunReport:
+                  on_point=None, on_chunk=None, on_plan=None) -> RunReport:
         """Execute one shard: cached chunks are served, the rest simulated.
 
         Each missing point's uncovered tail is decomposed into the
@@ -417,13 +421,38 @@ class RunDriver:
         :meth:`repro.sim.SweepEngine.measure_points`, shared-memory
         input/result transport) — results are bit-identical to a serial
         run of the same layout, and every completed chunk is persisted
-        even when another chunk's worker fails mid-shard.  ``on_point``
-        (optional) is called as ``on_point(point, measurement, source)``
-        per point in shard order, ``source`` being ``"cached"`` or
-        ``"simulated"``.  Safe to re-run after a crash — completed chunks
-        are already in the store and skipped.
+        even when another chunk's worker fails mid-shard.  Safe to
+        re-run after a crash — completed chunks are already in the store
+        and skipped.
+
+        Progress hooks (all optional; what ``--progress`` drives):
+        ``on_plan(num_chunks, packets_cached)`` once after cache
+        resolution, ``on_chunk(point, packet_offset, measurement)`` per
+        freshly simulated chunk (after it is persisted), ``on_point
+        (point, measurement, source)`` per point in shard order with
+        ``source`` ``"cached"`` or ``"simulated"``.
+
+        When the engine carries an enabled :class:`repro.obs.Recorder`,
+        the shard's telemetry (cache hit/miss counters, chunk spans, the
+        ``driver.run_shard`` envelope span) is flushed — in a
+        ``finally``, so a crashed shard still leaves its partial ledger
+        — to ``events.jsonl`` + ``telemetry.json`` in the run directory.
         """
+        recorder = self.engine.recorder
+        try:
+            with activate(recorder), \
+                    recorder.span("driver.run_shard",
+                                  shard=int(shard_index)):
+                return self._run_shard_inner(shard_index, max_workers,
+                                             on_point, on_chunk, on_plan)
+        finally:
+            if recorder.enabled:
+                self.flush_telemetry()
+
+    def _run_shard_inner(self, shard_index: int, max_workers, on_point,
+                         on_chunk, on_plan) -> RunReport:
         manifest = self.manifest
+        recorder = self.engine.recorder
         points = manifest.points_for_shard(shard_index)
         store = self.store_for_shard(shard_index)
         report = RunReport(shard_index=shard_index,
@@ -436,6 +465,7 @@ class RunDriver:
         jobs: list[tuple[int, SweepPoint, str, int]] = []
         chunk_jobs: list[tuple[SweepPoint, int, int]] = []
         key_by_point: dict[SweepPoint, str] = {}
+        chunks_resumed = 0
         for index, point in enumerate(points):
             key = self._key_for(point)
             key_by_point[point] = key
@@ -447,17 +477,23 @@ class RunDriver:
                 continue
             covered = store.coverage(key)
             stored = store.chunks_for(key)
-            missing = [
-                (offset, packets)
-                for offset, packets in _chunk_spans(
-                    requested - covered, manifest.chunk_packets, covered)
-                if stored.get(offset) != packets]
+            spans = _chunk_spans(requested - covered,
+                                 manifest.chunk_packets, covered)
+            missing = [(offset, packets) for offset, packets in spans
+                       if stored.get(offset) != packets]
+            chunks_resumed += len(spans) - len(missing)
             jobs.append((index, point, key, covered))
             chunk_jobs.extend((point, packets, offset)
                               for offset, packets in missing)
             report.packets_cached += covered + sum(
                 packets for offset, packets in stored.items()
                 if offset >= covered)
+        recorder.counter("cache.points_hit", report.points_cached)
+        recorder.counter("cache.points_missed", len(jobs))
+        recorder.counter("cache.chunks_resumed", chunks_resumed)
+        recorder.counter("cache.packets_cached", report.packets_cached)
+        if on_plan is not None:
+            on_plan(len(chunk_jobs), report.packets_cached)
 
         def persist(point, packet_offset, measurement) -> None:
             # Store writes stay on the driver thread, in deterministic
@@ -467,6 +503,8 @@ class RunDriver:
             store.add_chunk(key_by_point[point], packet_offset, measurement)
             report.chunks_simulated += 1
             report.packets_simulated += measurement.packets_sent
+            if on_chunk is not None:
+                on_chunk(point, packet_offset, measurement)
 
         if chunk_jobs:
             # The spans above already realize the manifest's layout; a
@@ -498,6 +536,21 @@ class RunDriver:
         }, sort_keys=True) + "\n")
         return report
 
+    def flush_telemetry(self) -> dict:
+        """Flush the engine recorder into the run's telemetry artifacts.
+
+        Drains the recorder's events into the append-only
+        ``events.jsonl`` ledger (one atomic append per flush), then
+        atomically rewrites ``telemetry.json`` as the aggregate of the
+        *whole* ledger — so concurrent or sequential shard executions
+        compose, and a crash between the two writes costs only summary
+        freshness, never raw events.  Returns the summary payload.
+        """
+        ledger = EventLedger(self.run_dir / LEDGER_NAME)
+        ledger.append(self.engine.recorder.drain())
+        events, _corrupt = ledger.read()
+        return write_summary(self.run_dir / SUMMARY_NAME, events)
+
     def pending_shards(self) -> tuple[int, ...]:
         """Shards without a completion marker (crashed, or never started)."""
         return tuple(index for index in range(self.manifest.num_shards)
@@ -518,6 +571,41 @@ class RunDriver:
                                 self.manifest.num_packets) is not None)
             status[index] = "partial" if covered else "pending"
         return status
+
+    def shard_progress(self) -> dict[int, dict]:
+        """Per-shard chunk/cache detail (what ``python -m repro show``
+        renders).
+
+        For every shard: its :meth:`shard_status` state, how many of its
+        points are fully measured, its point total, how many store
+        chunks cover its points, and how many packets those chunks hold.
+        Derived from the manifest and the content-addressed store alone,
+        so it works on live, crashed, and finished runs alike.
+        """
+        statuses = self.shard_status()
+        store = ResultStore(self.store_dir)
+        progress: dict[int, dict] = {}
+        for index in range(self.manifest.num_shards):
+            points = self.manifest.points_for_shard(index)
+            measured = 0
+            chunks = 0
+            packets = 0
+            for point in points:
+                key = self._key_for(point)
+                if store.lookup(key,
+                                self.manifest.num_packets) is not None:
+                    measured += 1
+                stored = store.chunks_for(key)
+                chunks += len(stored)
+                packets += sum(stored.values())
+            progress[index] = {
+                "status": statuses[index],
+                "points_measured": measured,
+                "points_total": len(points),
+                "chunks_stored": chunks,
+                "packets_stored": packets,
+            }
+        return progress
 
     def run_pending(self, max_workers: int | None = None,
                     on_point=None) -> RunReport:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.metrics import BERPoint
+from repro.obs.recorder import active
 
 __all__ = ["ResultStore", "StoredChunk", "measurement_key"]
 
@@ -211,7 +212,9 @@ class ResultStore:
             merged = (chunk.measurement if merged is None
                       else merged.merge(chunk.measurement))
         if covered < num_packets:
+            active().counter("store.lookup_misses")
             return None
+        active().counter("store.lookup_hits")
         return merged
 
     # ------------------------------------------------------------------
@@ -247,4 +250,6 @@ class ResultStore:
         finally:
             os.close(descriptor)
         self._index(chunk)
+        active().counter("store.chunks_added")
+        active().counter("store.packets_added", chunk.num_packets)
         return chunk

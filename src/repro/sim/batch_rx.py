@@ -63,6 +63,7 @@ from repro.dsp.acquisition import BatchedAcquisitionResult
 from repro.dsp.channel_estimation import BatchedChannelEstimate
 from repro.dsp.rake import RakeReceiver, combine_streams_batch, finger_arrays
 from repro.dsp.viterbi import MLSEEqualizer, equalize_to_bits_batch
+from repro.obs.recorder import active
 from repro.phy.packet import HEADER_LENGTH_BITS
 from repro.sim.backends import ArrayBackend, get_backend
 from repro.utils.bits import random_bits
@@ -223,8 +224,9 @@ class BatchedFullStackModel:
         for index, row in enumerate(samples_rows):
             batch[index, :row.size] = row
 
-        acquisition = receiver.acquisition.acquire_batch(
-            batch, valid_lengths=lengths, backend=self.backend)
+        with active().span("rx.acquisition", packets=num_packets):
+            acquisition = receiver.acquisition.acquire_batch(
+                batch, valid_lengths=lengths, backend=self.backend)
         results: list[ReceiveResult | None] = [None] * num_packets
         detected = np.nonzero(acquisition.detected)[0]
         for index in np.nonzero(~acquisition.detected)[0]:
@@ -239,10 +241,11 @@ class BatchedFullStackModel:
             return results, acquisition, None
 
         timing = acquisition.timing_offset_samples[detected]
-        estimates = receiver.channel_estimator.estimate_averaged_batch(
-            batch[detected], timing, config.adc_rate_hz,
-            num_repetitions=config.packet.preamble.num_repetitions,
-            valid_lengths=lengths[detected], backend=self.backend)
+        with active().span("rx.chanest", packets=int(detected.size)):
+            estimates = receiver.channel_estimator.estimate_averaged_batch(
+                batch[detected], timing, config.adc_rate_hz,
+                num_repetitions=config.packet.preamble.num_repetitions,
+                valid_lengths=lengths[detected], backend=self.backend)
         rakes = [RakeReceiver(estimates.estimate_for(slot),
                               num_fingers=getattr(config, "rake_fingers", 1),
                               policy=getattr(config, "rake_policy", "srake"))
@@ -259,10 +262,13 @@ class BatchedFullStackModel:
         period = receiver.samples_per_symbol
         body_start = timing + receiver.preamble_length_samples
 
-        header_stats = combine_streams_batch(
-            batch[detected], delays, weights, template, period, body_start,
-            HEADER_LENGTH_BITS, valid_lengths=lengths[detected],
-            backend=self.backend) / normalization[:, None]
+        with active().span("rx.rake", packets=int(detected.size),
+                           part="header"):
+            header_stats = combine_streams_batch(
+                batch[detected], delays, weights, template, period,
+                body_start, HEADER_LENGTH_BITS,
+                valid_lengths=lengths[detected],
+                backend=self.backend) / normalization[:, None]
         header_bits = (np.real(header_stats) > 0).astype(np.int64)
 
         # How much payload each packet's (possibly corrupted) header
@@ -281,11 +287,13 @@ class BatchedFullStackModel:
             if count <= 0:
                 continue
             group = np.nonzero(remaining == count)[0]
-            stats = combine_streams_batch(
-                batch[detected[group]], delays[group], weights[group],
-                template, period, payload_start[group], int(count),
-                valid_lengths=lengths[detected[group]],
-                backend=self.backend) / normalization[group, None]
+            with active().span("rx.rake", packets=int(group.size),
+                               part="payload"):
+                stats = combine_streams_batch(
+                    batch[detected[group]], delays[group], weights[group],
+                    template, period, payload_start[group], int(count),
+                    valid_lengths=lengths[detected[group]],
+                    backend=self.backend) / normalization[group, None]
             for row, slot in enumerate(group):
                 payload_stats_rows[slot] = stats[row]
 
@@ -315,16 +323,20 @@ class BatchedFullStackModel:
                                     > 0).astype(np.int64)
                 soft_rows[slot] = np.real(payload_stats)
         if mlse_slots:
-            equalized = equalize_to_bits_batch(
-                mlse_equalizers,
-                [payload_stats_rows[slot] for slot in mlse_slots])
+            with active().span("rx.viterbi", packets=len(mlse_slots),
+                               part="mlse"):
+                equalized = equalize_to_bits_batch(
+                    mlse_equalizers,
+                    [payload_stats_rows[slot] for slot in mlse_slots])
             for slot, coded in zip(mlse_slots, equalized):
                 coded_rows[slot] = coded
         body_bits_rows = [
             np.concatenate((header_bits[slot], coded_rows[slot]))
             for slot in range(detected.size)]
 
-        parses = receiver.parser.parse_many(body_bits_rows, soft_rows)
+        with active().span("rx.viterbi", packets=int(detected.size),
+                           part="parse"):
+            parses = receiver.parser.parse_many(body_bits_rows, soft_rows)
         for slot, index in enumerate(detected):
             results[index] = ReceiveResult(
                 acquisition=acquisition.result_for(index),
@@ -385,6 +397,20 @@ class BatchedFullStackModel:
                       payload_bits_per_packet: int, rng,
                       make_channel, make_interferer, lead_in_s,
                       complex_waveform, draw_noise, draw_adc_noise=None):
+        """Timed wrapper over :meth:`_phase1_draws_impl` (the
+        ``rx.synthesis`` telemetry stage: draws + batched TX synthesis).
+        """
+        with active().span("rx.synthesis", packets=int(num_packets)):
+            return self._phase1_draws_impl(
+                ebn0_db, num_packets, payload_bits_per_packet, rng,
+                make_channel, make_interferer, lead_in_s,
+                complex_waveform, draw_noise, draw_adc_noise)
+
+    def _phase1_draws_impl(self, ebn0_db, num_packets: int,
+                           payload_bits_per_packet: int, rng,
+                           make_channel, make_interferer, lead_in_s,
+                           complex_waveform, draw_noise,
+                           draw_adc_noise=None):
         """Phase 1 of both batched front halves: every random draw, in
         exactly the per-packet order the packet oracle performs them.
 
@@ -466,10 +492,12 @@ class BatchedFullStackModel:
         so that case copies first — the (frozen) ``tx_batch`` must keep
         its clean transmit waveforms.
         """
-        batch = apply_channels_batch(channels, tx_batch.waveforms,
-                                     self.config.simulation_rate_hz,
-                                     valid_lengths=tx_batch.lengths,
-                                     backend=self.backend)
+        with active().span("rx.channel_fft",
+                           packets=int(tx_batch.waveforms.shape[0])):
+            batch = apply_channels_batch(channels, tx_batch.waveforms,
+                                         self.config.simulation_rate_hz,
+                                         valid_lengths=tx_batch.lengths,
+                                         backend=self.backend)
         if batch is tx_batch.waveforms:
             batch = batch.copy()
         return batch

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import time
 import warnings
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
@@ -56,11 +58,14 @@ import numpy as np
 
 from repro.core.config import Gen1Config, Gen2Config
 from repro.core.metrics import BERCurve, BERPoint
+from repro.obs.recorder import NULL_RECORDER, Recorder, activate
 from repro.sim.backends import ArrayBackend, get_backend
 from repro.sim.batch import BatchedLinkModel
 from repro.sim.scenarios import SCENARIOS, Scenario, ScenarioRegistry
 from repro.sim.shm import SLOT_OK, ChunkResultBlock, ChunkTaskBlock
 from repro.utils.validation import require_int
+
+_logger = logging.getLogger(__name__)
 
 __all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
 
@@ -374,35 +379,100 @@ def _run_chunk_task(task: _PointTask) -> tuple[BERPoint, np.ndarray]:
     return _run_point_record(task)
 
 
+def _chunk_attrs(task: _PointTask, packet_offset: int) -> dict:
+    """The telemetry identity of one chunk task (span attributes)."""
+    point = task.point
+    digest = hashlib.sha256(
+        _point_digest_text(point).encode("utf-8")).hexdigest()[:12]
+    return {"point": digest, "scenario": point.scenario,
+            "ebn0_db": float(point.ebn0_db),
+            "packet_offset": int(packet_offset),
+            "packets": int(task.num_packets), "backend": task.backend}
+
+
+def _run_chunk_traced(task: _PointTask, packet_offset: int, recorder,
+                      queue_wait_s: float | None = None):
+    """Run one chunk task under a ``chunk.run`` telemetry span.
+
+    With the null recorder this *is* :func:`_run_chunk_task` — no clock
+    read, no attribute hashing — keeping the disabled path a true no-op.
+    The recorder is also installed as the active one for the chunk body,
+    so the per-stage receiver spans land in the same event stream.
+    """
+    if not recorder.enabled:
+        return _run_chunk_task(task)
+    attrs = _chunk_attrs(task, packet_offset)
+    if queue_wait_s is not None:
+        attrs["queue_wait_s"] = float(queue_wait_s)
+    with activate(recorder):
+        with recorder.span("chunk.run", **attrs):
+            return _run_chunk_task(task)
+
+
+def _worker_telemetry(telemetry: bool, submit_t: float | None):
+    """A worker-process recorder plus the chunk's pool queue wait.
+
+    Workers never record into the recorder a fork inherited from the
+    parent — each task gets a fresh one (or the null recorder) and ships
+    its drained events back with the result.  The queue wait is measured
+    against the parent's ``time.monotonic`` submission stamp
+    (``CLOCK_MONOTONIC`` is system-wide on Linux, so the delta is valid
+    across processes); clock adjustments clamp to zero, never negative.
+    """
+    recorder = Recorder() if telemetry else NULL_RECORDER
+    queue_wait = None
+    if telemetry and submit_t is not None:
+        queue_wait = max(time.monotonic() - float(submit_t), 0.0)
+    return recorder, queue_wait
+
+
 def _run_slot_task(task_block_name: str, result_block_name: str, slot: int,
-                   record_errors: bool) -> int:
+                   record_errors: bool, telemetry: bool = False,
+                   submit_t: float | None = None) -> tuple[int, list | None]:
     """Worker body: rebuild chunk task ``slot`` from the shared task
     block, simulate it, write its record into the shared result block.
 
     Only two block names and a slot index cross the pickle boundary —
     the task inputs stream through shared memory, and the per-fan-out
     prototypes are unpickled once per worker process (``_proto_cache``).
+    Returns ``(slot, events)`` where ``events`` is the worker-side
+    telemetry batch (``None`` when telemetry is off).
     """
-    prototypes = _proto_cache.get(task_block_name)
-    with ChunkTaskBlock.attach(task_block_name) as tasks:
-        proto_index, num_packets, packet_offset = tasks.row(slot)
-        if prototypes is None:
-            if len(_proto_cache) >= _PROTO_CACHE_LIMIT:
-                _proto_cache.clear()
-            prototypes = tasks.prototypes()
-            _proto_cache[task_block_name] = prototypes
-    task = _materialize_chunk(prototypes[proto_index], num_packets,
-                              packet_offset)
-    measurement, errors = _run_chunk_task(task)
-    with ChunkResultBlock.attach(result_block_name) as results:
-        results.write_result(slot, measurement,
-                             errors if record_errors else None)
-    return slot
+    recorder, queue_wait = _worker_telemetry(telemetry, submit_t)
+    with activate(recorder):
+        prototypes = _proto_cache.get(task_block_name)
+        with ChunkTaskBlock.attach(task_block_name) as tasks:
+            proto_index, num_packets, packet_offset = tasks.row(slot)
+            if prototypes is None:
+                if len(_proto_cache) >= _PROTO_CACHE_LIMIT:
+                    _proto_cache.clear()
+                prototypes = tasks.prototypes()
+                _proto_cache[task_block_name] = prototypes
+        task = _materialize_chunk(prototypes[proto_index], num_packets,
+                                  packet_offset)
+        measurement, errors = _run_chunk_traced(task, packet_offset,
+                                                recorder, queue_wait)
+        with ChunkResultBlock.attach(result_block_name) as results:
+            results.write_result(slot, measurement,
+                                 errors if record_errors else None)
+    return slot, (recorder.drain() if telemetry else None)
+
+
+def _run_chunk_task_events(task: _PointTask, packet_offset: int,
+                           telemetry: bool = False,
+                           submit_t: float | None = None) -> tuple:
+    """Pickling-pool worker body: run one chunk, return ``(record,
+    events)`` where ``events`` is the worker-side telemetry batch
+    (``None`` when telemetry is off)."""
+    recorder, queue_wait = _worker_telemetry(telemetry, submit_t)
+    record = _run_chunk_traced(task, packet_offset, recorder, queue_wait)
+    return record, (recorder.drain() if telemetry else None)
 
 
 def _run_chunks_shared(prototypes, rows, error_packets: int,
-                       max_workers: int) -> tuple[list,
-                                                  BaseException | None]:
+                       max_workers: int,
+                       recorder=NULL_RECORDER) -> tuple[list,
+                                                        BaseException | None]:
     """Fan chunk tasks over a process pool with shared-memory transport.
 
     ``rows`` are ``(prototype_index, num_packets, packet_offset)`` chunk
@@ -417,41 +487,63 @@ def _run_chunks_shared(prototypes, rows, error_packets: int,
     shared-memory blocks are torn down in a ``finally``.  A block
     allocation failure raises a ``RuntimeError`` naming the failed
     allocation before any task runs — tasks are never silently dropped.
+
+    With an enabled ``recorder``, the parent records block pack/alloc
+    spans and sizes plus the pool fan-out span, each worker records its
+    own ``chunk.run`` span (including pool queue wait) and ships the
+    batch back with its future, and harvested-after-failure slots are
+    counted — telemetry rides the existing transport, never a second
+    channel.
     """
-    try:
-        task_block = ChunkTaskBlock.pack(prototypes, rows)
-    except OSError as error:
-        raise RuntimeError(
-            f"failed to allocate the shared-memory task block for "
-            f"{len(rows)} chunk task(s): {error}; no chunk was run "
-            "(is /dev/shm full?)") from error
+    telemetry = recorder.enabled
+    with recorder.span("shm.pack", tasks=len(rows)):
+        try:
+            task_block = ChunkTaskBlock.pack(prototypes, rows)
+        except OSError as error:
+            raise RuntimeError(
+                f"failed to allocate the shared-memory task block for "
+                f"{len(rows)} chunk task(s): {error}; no chunk was run "
+                "(is /dev/shm full?)") from error
+    recorder.gauge("shm.task_block_bytes", task_block.size_bytes)
     result_block = None
     failure: BaseException | None = None
     try:
-        try:
-            result_block = ChunkResultBlock.allocate(len(rows),
-                                                     error_packets)
-        except OSError as error:
-            raise RuntimeError(
-                f"failed to allocate the shared-memory result block for "
-                f"{len(rows)} chunk task(s) x {error_packets} error "
-                f"word(s): {error}; no chunk was run "
-                "(is /dev/shm full?)") from error
+        with recorder.span("shm.alloc", tasks=len(rows)):
+            try:
+                result_block = ChunkResultBlock.allocate(len(rows),
+                                                         error_packets)
+            except OSError as error:
+                raise RuntimeError(
+                    f"failed to allocate the shared-memory result block for "
+                    f"{len(rows)} chunk task(s) x {error_packets} error "
+                    f"word(s): {error}; no chunk was run "
+                    "(is /dev/shm full?)") from error
+        recorder.gauge("shm.result_block_bytes", result_block.size_bytes)
         workers = min(int(max_workers), len(rows))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_slot_task, task_block.name,
-                                   result_block.name, slot,
-                                   error_packets > 0)
-                       for slot in range(len(rows))]
-            for future in futures:
-                try:
-                    future.result()
-                except BaseException as error:  # noqa: BLE001 - re-raised
-                    if failure is None:
-                        failure = error
+        recorder.gauge("pool.workers", workers)
+        with recorder.span("pool.run", workers=workers, tasks=len(rows)):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_slot_task, task_block.name,
+                                       result_block.name, slot,
+                                       error_packets > 0, telemetry,
+                                       time.monotonic() if telemetry
+                                       else None)
+                           for slot in range(len(rows))]
+                for future in futures:
+                    try:
+                        _, events = future.result()
+                        recorder.absorb(events)
+                    except BaseException as error:  # noqa: BLE001 re-raised
+                        if failure is None:
+                            failure = error
         records = [result_block.read_result(slot)
                    if result_block.slot_status(slot) == SLOT_OK else None
                    for slot in range(len(rows))]
+        if failure is not None:
+            harvested = sum(1 for record in records if record is not None)
+            if harvested:
+                recorder.counter("shm.slots_harvested_after_failure",
+                                 harvested)
     finally:
         for block in (task_block, result_block):
             if block is None:
@@ -522,6 +614,15 @@ class SweepEngine:
         results through :mod:`repro.sim.shm` blocks; ``False`` pickles
         them through the executor (the slower historical path, kept for
         comparison and as an escape hatch).
+    recorder:
+        Optional :class:`repro.obs.Recorder` collecting run telemetry
+        (chunk latency spans, pool queue waits, shm block sizes,
+        per-stage receiver timing).  ``None`` (default) installs the
+        no-op null recorder: zero clock reads, zero events.  Telemetry
+        is *bitwise invisible* — results and :meth:`config_digest` are
+        identical whether recording is on or off, and the recorder is
+        deliberately excluded from the digest so enabling it never
+        invalidates :mod:`repro.runs` caches.
     """
 
     def __init__(self, config=None, generation: str = "gen2",
@@ -530,7 +631,8 @@ class SweepEngine:
                  max_workers: int | None = None,
                  array_backend: str | ArrayBackend | None = None,
                  shared_memory: bool = True,
-                 chunk_packets: int | None = None) -> None:
+                 chunk_packets: int | None = None,
+                 recorder=None) -> None:
         if generation not in ("gen1", "gen2"):
             raise ValueError("generation must be 'gen1' or 'gen2'")
         if backend not in _BACKENDS:
@@ -550,6 +652,9 @@ class SweepEngine:
         self.array_backend = get_backend(array_backend).name
         self.shared_memory = bool(shared_memory)
         self.chunk_packets = chunk_packets
+        # Never part of config_digest(): telemetry is observability, not
+        # identity — recording on/off must not split the result cache.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Identity hooks (used by the repro.runs result store)
@@ -705,41 +810,85 @@ class SweepEngine:
         produce the same per-chunk records (same seeds, same layout), so
         scheduling is bitwise invisible for a fixed chunk layout.  On the
         serial path a failing chunk stops the schedule (later rows record
-        ``None``); on the pools every chunk fails independently.
+        ``None``); on the pools every chunk fails independently.  Before
+        a failure is returned, every failed chunk is logged with its
+        identity — point digest, scenario, Eb/N0, packet offset — and
+        the identities are attached to the exception as a note (Python
+        3.11+), so a worker traceback never strands the caller without
+        knowing *which* chunk died.
         """
+        recorder = self.recorder
+        telemetry = recorder.enabled
         if max_workers is not None and max_workers > 1 and len(rows) > 1:
             if self.shared_memory:
-                return _run_chunks_shared(prototypes, rows, error_packets,
-                                          max_workers)
-            tasks = [_materialize_chunk(prototypes[index], packets, offset)
-                     for index, packets, offset in rows]
-            records: list = []
-            failure: BaseException | None = None
-            with ProcessPoolExecutor(
-                    max_workers=min(max_workers, len(tasks))) as pool:
-                futures = [pool.submit(_run_chunk_task, task)
-                           for task in tasks]
-                for future in futures:
-                    try:
-                        records.append(future.result())
-                    except BaseException as error:  # noqa: BLE001
-                        records.append(None)
-                        if failure is None:
-                            failure = error
-            return records, failure
-        records = []
-        failure = None
-        for index, packets, offset in rows:
-            if failure is not None:
-                records.append(None)
-                continue
-            try:
-                records.append(_run_chunk_task(
-                    _materialize_chunk(prototypes[index], packets, offset)))
-            except BaseException as error:  # noqa: BLE001 - re-raised
-                records.append(None)
-                failure = error
+                records, failure = _run_chunks_shared(
+                    prototypes, rows, error_packets, max_workers, recorder)
+                failed = [i for i, record in enumerate(records)
+                          if record is None]
+            else:
+                tasks = [(_materialize_chunk(prototypes[index], packets,
+                                             offset), offset)
+                         for index, packets, offset in rows]
+                records = []
+                failure = None
+                workers = min(max_workers, len(tasks))
+                recorder.gauge("pool.workers", workers)
+                with recorder.span("pool.run", workers=workers,
+                                   tasks=len(tasks)):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        futures = [
+                            pool.submit(_run_chunk_task_events, task, offset,
+                                        telemetry,
+                                        time.monotonic() if telemetry
+                                        else None)
+                            for task, offset in tasks]
+                        for future in futures:
+                            try:
+                                record, events = future.result()
+                                records.append(record)
+                                recorder.absorb(events)
+                            except BaseException as error:  # noqa: BLE001
+                                records.append(None)
+                                if failure is None:
+                                    failure = error
+                failed = [i for i, record in enumerate(records)
+                          if record is None]
+        else:
+            records = []
+            failure = None
+            failed = []
+            for index, packets, offset in rows:
+                if failure is not None:
+                    records.append(None)
+                    continue
+                try:
+                    records.append(_run_chunk_traced(
+                        _materialize_chunk(prototypes[index], packets,
+                                           offset), offset, recorder))
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    # Only this chunk *failed*; later rows are skipped.
+                    failed.append(len(records))
+                    records.append(None)
+                    failure = error
+        if failure is not None and failed:
+            self._note_chunk_failures(prototypes, rows, failed, failure)
         return records, failure
+
+    def _note_chunk_failures(self, prototypes, rows, failed_indices,
+                             failure: BaseException) -> None:
+        """Log (and annotate onto ``failure``) which chunks failed."""
+        identities = []
+        for row_index in failed_indices:
+            proto_index, packets, offset = rows[row_index]
+            point = prototypes[proto_index].point
+            identity = (f"point {self.point_digest(point)[:12]} "
+                        f"({point.scenario}, {point.ebn0_db:g} dB) "
+                        f"offset {offset} ({packets} packet(s))")
+            identities.append(identity)
+            _logger.error("chunk failed: %s: %r", identity, failure)
+        self.recorder.counter("chunks.failed", len(failed_indices))
+        if hasattr(failure, "add_note"):  # Python 3.11+
+            failure.add_note("failed chunk(s): " + "; ".join(identities))
 
     @staticmethod
     def _merge_rows(records, row_indices) -> BERPoint:
@@ -782,11 +931,15 @@ class SweepEngine:
             require_int(num_packets, "num_packets", minimum=1)
             require_int(packet_offset, "packet_offset", minimum=0)
         self._validate_modulations([point for point, _, _ in jobs])
-        prototypes, rows, job_rows = self._chunk_plan(
-            jobs, payload_bits_per_packet, layout)
-        # Scalar results only — no per-packet error region.
-        records, failure = self._execute_chunks(prototypes, rows, 0,
-                                                max_workers)
+        recorder = self.recorder
+        with activate(recorder):
+            with recorder.span("engine.chunk_plan", jobs=len(jobs)):
+                prototypes, rows, job_rows = self._chunk_plan(
+                    jobs, payload_bits_per_packet, layout)
+            recorder.counter("chunks.scheduled", len(rows))
+            # Scalar results only — no per-packet error region.
+            records, failure = self._execute_chunks(prototypes, rows, 0,
+                                                    max_workers)
         if on_chunk is not None:
             for (index, _, offset), record in zip(rows, records):
                 if record is not None:
@@ -852,14 +1005,18 @@ class SweepEngine:
                 "and return identical measurements — use different seeds "
                 "(or engines) to replicate a point",
                 stacklevel=2)
-        prototypes, rows, job_rows = self._chunk_plan(
-            [(point, num_packets, 0) for point in points],
-            payload_bits_per_packet, layout)
-        error_packets = (max(packets for _, packets, _ in rows)
-                         if collect_errors_per_packet and rows else 0)
-        records, failure = self._execute_chunks(prototypes, rows,
-                                                error_packets,
-                                                effective_workers)
+        recorder = self.recorder
+        with activate(recorder):
+            with recorder.span("engine.chunk_plan", jobs=len(points)):
+                prototypes, rows, job_rows = self._chunk_plan(
+                    [(point, num_packets, 0) for point in points],
+                    payload_bits_per_packet, layout)
+            recorder.counter("chunks.scheduled", len(rows))
+            error_packets = (max(packets for _, packets, _ in rows)
+                             if collect_errors_per_packet and rows else 0)
+            records, failure = self._execute_chunks(prototypes, rows,
+                                                    error_packets,
+                                                    effective_workers)
         result = SweepResult()
         for point, row_indices in zip(points, job_rows):
             parts = [records[row_index] for row_index in row_indices]

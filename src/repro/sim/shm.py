@@ -47,6 +47,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.metrics import BERPoint
+from repro.obs.recorder import active
 from repro.utils.validation import require_int
 
 __all__ = [
@@ -244,6 +245,7 @@ class ChunkTaskBlock(_SharedBlock):
             raise ValueError("block is closed")
         start = (self._HEADER_WORDS
                  + self.num_rows * _TASK_ROW_WORDS) * _WORD_BYTES
+        active().counter("shm.proto_bytes_read", self._proto_nbytes)
         return pickle.loads(bytes(
             self._shm.buf[start:start + self._proto_nbytes]))
 
@@ -348,6 +350,8 @@ class ChunkResultBlock(_SharedBlock):
         # complete payload even if this writer is killed mid-record.
         rows[slot, 0] = SLOT_OK
         del rows
+        active().counter("shm.result_bytes_written",
+                         (RECORD_WORDS + errors.size) * _WORD_BYTES)
 
     def read_result(self, slot: int) -> tuple[BERPoint, np.ndarray]:
         """Deserialize ``slot``'s record: ``(measurement, errors_per_packet)``.
@@ -382,4 +386,6 @@ class ChunkResultBlock(_SharedBlock):
                 dtype=np.int64)
         finally:
             del rows
+        active().counter("shm.result_bytes_read",
+                         (RECORD_WORDS + errors.size) * _WORD_BYTES)
         return measurement, errors

@@ -1,0 +1,164 @@
+"""The live progress line and the ledger report renderer."""
+
+import io
+
+import pytest
+
+from repro.core.metrics import BERPoint
+from repro.obs.ledger import EventLedger, LEDGER_NAME
+from repro.obs.progress import ProgressLine
+from repro.obs.recorder import Recorder
+from repro.obs.report import load_run_events, render_report
+
+
+def measurement(packets=4):
+    return BERPoint(ebn0_db=4.0, bit_errors=1, total_bits=packets * 16,
+                    packets_sent=packets, packets_failed=1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressLine:
+    def make(self, points_total=3, min_interval_s=0.0):
+        stream = io.StringIO()
+        clock = FakeClock()
+        line = ProgressLine(points_total=points_total, stream=stream,
+                            clock=clock, min_interval_s=min_interval_s)
+        return line, stream, clock
+
+    def test_full_run_rendering(self):
+        line, stream, clock = self.make(points_total=2)
+        line.plan(4, packets_cached=0)
+        clock.advance(1.0)
+        for offset in (0, 2, 4, 6):
+            line.chunk(None, offset, measurement(2))
+        line.point(None, measurement(8), source="simulated")
+        line.point(None, measurement(8), source="simulated")
+        line.close()
+        rendered = line.render()
+        assert "4/4 chunks" in rendered
+        assert "2/2 points" in rendered
+        assert "8 pkt/s" in rendered
+        assert stream.getvalue().endswith(rendered + "\n")
+        assert "\r" in stream.getvalue()
+
+    def test_cache_share(self):
+        line, _, clock = self.make(points_total=2)
+        line.plan(1, packets_cached=6)
+        clock.advance(1.0)
+        line.chunk(None, 0, measurement(2))
+        line.point(None, measurement(6), source="cached")
+        line.point(None, measurement(8), source="simulated")
+        assert "cache 75%" in line.render()  # 6 of 8 packets from cache
+
+    def test_all_cached_run_has_no_throughput(self):
+        line, _, _ = self.make(points_total=1)
+        line.plan(0, packets_cached=4)
+        line.point(None, measurement(4), source="cached")
+        rendered = line.render()
+        assert "0/0 chunks" in rendered
+        assert "pkt/s" not in rendered
+        assert "cache 100%" in rendered
+
+    def test_rate_limiting(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        line = ProgressLine(points_total=1, stream=stream, clock=clock,
+                            min_interval_s=10.0)
+        line.plan(8)
+        first = stream.getvalue()
+        for offset in range(4):
+            line.chunk(None, offset, measurement(1))  # all inside 10 s
+        assert stream.getvalue() == first  # suppressed
+        line.close()  # forced final render
+        assert "4/8 chunks" in stream.getvalue()
+
+    def test_close_is_idempotent(self):
+        line, stream, _ = self.make()
+        line.close()
+        once = stream.getvalue()
+        line.close()
+        assert stream.getvalue() == once
+
+
+def ledger_events():
+    """A deterministic synthetic ledger via a fake-clocked recorder."""
+    ticks = iter(float(i) for i in range(1000))
+    recorder = Recorder(clock=lambda: next(ticks) * 0.01,
+                        time_source=lambda: 7.0)
+    for index, (scenario, offset) in enumerate(
+            [("awgn", 0), ("awgn", 4), ("cm1", 0), ("cm1", 4)]):
+        with recorder.span("chunk.run", point=f"digest{index:02d}",
+                           scenario=scenario, ebn0_db=6.0,
+                           packet_offset=offset, packets=4,
+                           backend="fullstack"):
+            pass
+    with recorder.span("engine.chunk_plan", jobs=2):
+        pass
+    recorder.counter("store.chunks_added", 4)
+    recorder.gauge("pool.workers", 2)
+    return recorder.drain()
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(ledger_events())
+        assert "spans" in text
+        assert "chunk.run" in text
+        assert "chunk latency (4 chunk(s))" in text
+        assert "throughput by scenario" in text
+        assert "awgn" in text and "cm1" in text
+        assert "slowest 4 chunk(s)" in text
+        assert "digest00" in text
+        assert "counters" in text
+        assert "store.chunks_added" in text
+        assert "gauges" in text
+        assert "pool.workers" in text
+        assert text.endswith("\n")
+
+    def test_top_k_limits_slowest_table(self):
+        text = render_report(ledger_events(), top_k=2)
+        assert "slowest 2 chunk(s)" in text
+
+    def test_no_chunk_spans_degrades_gracefully(self):
+        recorder = Recorder(clock=iter(range(100)).__next__,
+                            time_source=lambda: 1.0)
+        recorder.counter("cache.points_hit", 3)
+        text = render_report(recorder.drain())
+        assert "counters" in text
+        assert "chunk latency" not in text
+        assert "throughput" not in text
+
+    def test_empty_ledger(self):
+        assert "no events" in render_report([])
+
+    def test_identical_durations_collapse_to_one_bucket(self):
+        recorder = Recorder(clock=iter(
+            [0.0, 1.0, 2.0, 3.0]).__next__, time_source=lambda: 1.0)
+        for _ in range(2):
+            with recorder.span("chunk.run", scenario="awgn", packets=1):
+                pass
+        text = render_report(recorder.drain())
+        assert "chunk latency (2 chunk(s))" in text
+
+
+class TestLoadRunEvents:
+    def test_round_trip(self, tmp_path):
+        events = ledger_events()
+        EventLedger(tmp_path / LEDGER_NAME).append(events)
+        loaded, corrupt = load_run_events(tmp_path)
+        assert corrupt == 0
+        assert len(loaded) == len(events)
+
+    def test_missing_ledger_mentions_telemetry_flag(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--telemetry"):
+            load_run_events(tmp_path)

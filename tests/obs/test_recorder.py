@@ -1,0 +1,199 @@
+"""Recorder, NullRecorder and the active-recorder pattern."""
+
+import time
+
+import pytest
+
+import repro.obs.recorder as recorder_module
+from repro.obs.recorder import (
+    EVENT_SCHEMA_VERSION,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    activate,
+    active,
+)
+
+
+class FakeClock:
+    """A deterministic, call-counting stand-in for ``time.perf_counter``."""
+
+    def __init__(self, step: float = 1.0):
+        self.step = step
+        self.calls = 0
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        self.now += self.step
+        return self.now
+
+
+def make_recorder(step: float = 1.0) -> tuple[Recorder, FakeClock]:
+    clock = FakeClock(step)
+    return Recorder(clock=clock, time_source=lambda: 123.0), clock
+
+
+class TestRecorder:
+    def test_span_records_duration_and_attrs(self):
+        recorder, clock = make_recorder(step=0.5)
+        with recorder.span("work", scenario="awgn", packets=4):
+            pass
+        (event,) = recorder.events()
+        assert event["schema"] == EVENT_SCHEMA_VERSION
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+        assert event["ts"] == 123.0
+        assert event["duration_s"] == pytest.approx(0.5)
+        assert event["attrs"] == {"scenario": "awgn", "packets": 4}
+        assert clock.calls == 2  # enter + exit, nothing else
+
+    def test_span_marks_failure_and_propagates(self):
+        recorder, _ = make_recorder()
+        with pytest.raises(RuntimeError, match="boom"):
+            with recorder.span("work"):
+                raise RuntimeError("boom")
+        (event,) = recorder.events()
+        assert event["attrs"] == {"failed": True}
+
+    def test_counters_and_gauges(self):
+        recorder, _ = make_recorder()
+        recorder.counter("hits")
+        recorder.counter("hits", 4)
+        recorder.counter("bytes", 100)
+        recorder.gauge("workers", 2)
+        recorder.gauge("workers", 5)
+        assert recorder.counter_totals() == {"hits": 5, "bytes": 100}
+        assert recorder.gauge_values() == {"workers": 5}
+
+    def test_span_stats(self):
+        recorder, _ = make_recorder(step=1.0)
+        for _ in range(3):
+            with recorder.span("work"):
+                pass
+        stats = recorder.span_stats()["work"]
+        assert stats["count"] == 3
+        assert stats["total_s"] == pytest.approx(3.0)
+        assert stats["min_s"] == stats["max_s"] == pytest.approx(1.0)
+        assert stats["mean_s"] == pytest.approx(1.0)
+
+    def test_drain_and_absorb_round_trip(self):
+        worker, _ = make_recorder()
+        worker.counter("done", 2)
+        with worker.span("task"):
+            pass
+        shipped = worker.drain()
+        assert worker.events() == ()
+        parent, _ = make_recorder()
+        parent.absorb(shipped)
+        parent.absorb([])  # a no-op batch
+        assert parent.counter_totals() == {"done": 2}
+        assert parent.span_stats()["task"]["count"] == 1
+
+    def test_clear(self):
+        recorder, _ = make_recorder()
+        recorder.counter("x")
+        recorder.clear()
+        assert recorder.events() == ()
+
+    def test_render_prom(self):
+        recorder, _ = make_recorder(step=0.25)
+        recorder.counter("store.chunks_added", 3)
+        recorder.gauge("pool.workers", 4)
+        with recorder.span("chunk.run"):
+            pass
+        text = recorder.render_prom()
+        assert "# TYPE repro_store_chunks_added_total counter" in text
+        assert "repro_store_chunks_added_total 3" in text
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_pool_workers 4" in text
+        assert "# TYPE repro_chunk_run_seconds summary" in text
+        assert "repro_chunk_run_seconds_count 1" in text
+        assert "repro_chunk_run_seconds_sum 0.25" in text
+        assert text.endswith("\n")
+
+    def test_render_prom_empty(self):
+        recorder, _ = make_recorder()
+        assert recorder.render_prom() == ""
+
+    def test_events_are_json_safe(self):
+        import json
+        recorder, _ = make_recorder()
+        recorder.counter("c", 1, label="x")
+        recorder.gauge("g", 2.5)
+        with recorder.span("s", packets=3):
+            pass
+        json.dumps(recorder.drain())  # must not raise
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+        assert Recorder().enabled is True
+
+    def test_every_method_is_inert(self):
+        null = NullRecorder()
+        with null.span("work", attr=1):
+            null.counter("c")
+            null.gauge("g", 2)
+        null.absorb([{"kind": "counter"}])
+        null.clear()
+        assert null.events() == ()
+        assert null.drain() == []
+        assert null.counter_totals() == {}
+        assert null.gauge_values() == {}
+        assert null.span_stats() == {}
+        assert null.render_prom() == ""
+
+    def test_span_reuses_one_shared_context_manager(self):
+        assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b", x=1)
+
+    def test_null_recorder_never_reads_a_clock(self, monkeypatch):
+        # The bitwise-invisibility contract: the disabled path performs
+        # zero clock reads.  Poison both clocks — any read would raise.
+        def poisoned(*args, **kwargs):
+            raise AssertionError("NullRecorder read a clock")
+        monkeypatch.setattr(time, "perf_counter", poisoned)
+        monkeypatch.setattr(time, "time", poisoned)
+        null = NullRecorder()
+        with null.span("work"):
+            null.counter("c")
+            null.gauge("g", 1)
+        assert null.drain() == []
+
+
+class TestActiveRecorder:
+    def test_defaults_to_null(self):
+        assert active() is NULL_RECORDER
+
+    def test_activate_installs_and_restores(self):
+        recorder = Recorder()
+        with activate(recorder) as installed:
+            assert installed is recorder
+            assert active() is recorder
+        assert active() is NULL_RECORDER
+
+    def test_activate_is_reentrant(self):
+        outer, inner = Recorder(), Recorder()
+        with activate(outer):
+            with activate(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is NULL_RECORDER
+
+    def test_activate_none_is_null(self):
+        with activate(None):
+            assert active() is NULL_RECORDER
+
+    def test_activate_restores_on_exception(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with activate(recorder):
+                raise RuntimeError
+        assert active() is NULL_RECORDER
+
+    def test_leaf_code_records_into_the_active_recorder(self):
+        recorder = Recorder()
+        with activate(recorder):
+            recorder_module.active().counter("leaf.hit", 2)
+        assert recorder.counter_totals() == {"leaf.hit": 2}

@@ -81,7 +81,8 @@ class TestSweepCommand:
         assert code == 0
         assert "10 packets/point" in out
         assert "3 simulated, 0 cached" in out
-        assert "18 packets simulated, 12 served from cache" in out
+        assert "18 packets simulated in 3 chunk(s), " \
+               "12 served from cache" in out
         code, out = run_cli("merge", "--run", str(tmp_path / "demo"))
         assert "merged 3 of 3 point(s)" in out
 
@@ -153,3 +154,78 @@ class TestErrors:
         code, _ = run_cli("show", "--run", str(tmp_path / "nope"))
         assert code == 2
         assert "no run manifest" in capsys.readouterr().err
+
+
+class TestObservability:
+    CHUNKED = SWEEP_ARGS + ("--chunk-packets", "2")
+
+    def test_telemetry_sweep_report_and_show(self, tmp_path):
+        run_dir = tmp_path / "demo"
+        code, out = run_cli(*self.CHUNKED, "--out", str(tmp_path),
+                            "--name", "demo", "--telemetry")
+        assert code == 0
+        assert "3 simulated, 0 cached" in out
+        assert f"python -m repro report {run_dir}" in out
+        assert (run_dir / "events.jsonl").is_file()
+        assert (run_dir / "telemetry.json").is_file()
+
+        code, out = run_cli("report", str(run_dir))
+        assert code == 0
+        assert "chunk.run" in out
+        assert "chunk latency (6 chunk(s))" in out
+        assert "throughput by scenario" in out
+        assert "store.chunks_added" in out
+
+        code, out = run_cli("report", str(run_dir), "--top", "2")
+        assert code == 0
+        assert "slowest 2 chunk(s)" in out
+
+        code, out = run_cli("show", "--run", str(run_dir))
+        assert code == 0
+        assert "store     : 6 chunk(s) holding 12 packet(s)" in out
+        assert "shard   0 : done (3/3 point(s), 6 chunk(s), " \
+               "12 packet(s))" in out
+        assert "telemetry : events.jsonl present" in out
+
+    def test_telemetry_results_match_plain_run(self, tmp_path):
+        run_cli(*self.CHUNKED, "--out", str(tmp_path), "--name", "plain")
+        run_cli(*self.CHUNKED, "--out", str(tmp_path), "--name", "traced",
+                "--telemetry", "--workers", "2")
+        _, plain = run_cli("merge", "--run", str(tmp_path / "plain"))
+        _, traced = run_cli("merge", "--run", str(tmp_path / "traced"))
+        # Same curves line for line; only the artifact paths differ.
+        assert plain.splitlines()[1:] == traced.splitlines()[1:]
+
+    def test_telemetry_off_writes_no_ledger(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        assert not (tmp_path / "demo" / "events.jsonl").exists()
+        code, out = run_cli("show", "--run", str(tmp_path / "demo"))
+        assert code == 0
+        assert "telemetry" not in out
+
+    def test_progress_draws_on_stderr(self, tmp_path, capsys):
+        code, out = run_cli(*self.CHUNKED, "--out", str(tmp_path),
+                            "--name", "demo", "--progress")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "6/6 chunks" in err
+        assert "3/3 points" in err
+        assert "\r" in err and err.endswith("\n")
+        assert "chunks" not in out  # progress never pollutes stdout
+
+    def test_resume_accepts_telemetry_and_progress(self, tmp_path, capsys):
+        run_cli(*self.CHUNKED, "--out", str(tmp_path), "--name", "demo",
+                "--shard", "0/2")
+        code, out = run_cli("resume", "--run", str(tmp_path / "demo"),
+                            "--telemetry", "--progress")
+        assert code == 0
+        assert "run complete" in out
+        assert "python -m repro report" in out
+        assert (tmp_path / "demo" / "events.jsonl").is_file()
+        assert "points" in capsys.readouterr().err
+
+    def test_report_without_ledger_fails_cleanly(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, _ = run_cli("report", str(tmp_path / "demo"))
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
