@@ -24,8 +24,9 @@ The package is organized by subsystem:
   shared-memory process fan-out (the fast path for BER grids across many
   environments).
 * :mod:`repro.runs` — persistent sweep runs: the content-addressed result
-  store, the sharded/resumable run driver, curve artifacts and the
-  ``python -m repro`` CLI.
+  store (append-only JSONL or the queryable SQLite warehouse with ETL
+  migration, compaction/GC and cross-run queries), the sharded/resumable
+  run driver, curve artifacts and the ``python -m repro`` CLI.
 * :mod:`repro.obs` — dependency-free run telemetry: spans/counters/gauges,
   the per-run event ledger (``events.jsonl`` + ``telemetry.json``), live
   CLI progress and the ``python -m repro report`` renderer.  Off by
@@ -44,7 +45,7 @@ Quick start::
 
 # Defined before the subpackage imports so modules imported below (e.g.
 # repro.runs.driver) can read the version during package initialization.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro import (
     adc,

@@ -142,8 +142,11 @@ class MultipathChannel:
         if total == 0:
             return 0.0
         mean = np.sum(powers * self.delays_s) / total
-        second = np.sum(powers * self.delays_s ** 2) / total
-        return float(np.sqrt(max(second - mean ** 2, 0.0)))
+        # Centered form: the textbook E[t^2] - E[t]^2 cancels
+        # catastrophically when the spread is tiny next to the mean delay
+        # (identical ~80 ns delays leave O(1e-15 s) of float64 noise).
+        second_centered = np.sum(powers * (self.delays_s - mean) ** 2) / total
+        return float(np.sqrt(max(second_centered, 0.0)))
 
     def maximum_excess_delay_s(self, threshold_db: float = 30.0) -> float:
         """Delay of the last ray within ``threshold_db`` of the strongest ray."""

@@ -12,6 +12,15 @@ resume, and merges shard outputs into results bit-identical to an
 unsharded run.  :func:`export_curves` writes merged curves as named
 CSV/JSON artifacts that benchmarks and examples consume.
 
+Two store backends implement the same contract: the append-only JSONL
+format (the default) and the SQLite warehouse
+(:class:`SQLiteResultStore`, selected with ``--store-format sqlite`` or
+``REPRO_STORE_FORMAT``), which adds transactional ingest, indexed
+cross-run queries (:func:`query_store`, ``python -m repro query``),
+compaction/GC (:func:`gc_store`) and a verified JSONL-to-SQLite
+migration path (:func:`migrate_store`, ``python -m repro store
+migrate``).  Reads are bit-identical across backends.
+
 Usage::
 
     from repro.runs import RunDriver
@@ -35,7 +44,12 @@ Command line (same store format)::
 
 from repro.runs.artifacts import Artifact, export_curves, load_artifact
 from repro.runs.driver import RunDriver, RunManifest, RunReport
-from repro.runs.store import ResultStore, StoredChunk, measurement_key
+from repro.runs.store import (STORE_FORMATS, ResultStore, StoredChunk,
+                              default_store_format, detect_store_format,
+                              measurement_key)
+from repro.runs.warehouse import (SQLiteResultStore, gc_store, migrate_run,
+                                  migrate_store, query_store,
+                                  validate_store)
 
 __all__ = [
     "Artifact",
@@ -43,8 +57,17 @@ __all__ = [
     "RunDriver",
     "RunManifest",
     "RunReport",
+    "SQLiteResultStore",
+    "STORE_FORMATS",
     "StoredChunk",
+    "default_store_format",
+    "detect_store_format",
     "export_curves",
+    "gc_store",
     "load_artifact",
     "measurement_key",
+    "migrate_run",
+    "migrate_store",
+    "query_store",
+    "validate_store",
 ]

@@ -30,6 +30,24 @@ Subcommands:
     ``--telemetry``): per-span timing, a chunk latency histogram,
     per-scenario throughput, the slowest chunks.
 
+``store migrate`` / ``store gc``
+    Warehouse maintenance: convert a JSONL store (or whole run
+    directory) to the SQLite warehouse format with verified
+    bit-identical lookups (``migrate``, with ``--dry-run`` diffing),
+    and compact / garbage-collect a warehouse under a ``--keep-runs N``
+    retention policy (``gc``) — see :mod:`repro.runs.warehouse`.
+
+``query``
+    Assemble BER curves across *all* runs in a warehouse by scenario,
+    modulation, Eb/N0 range or config-digest prefix; optionally
+    validate escalation consistency (``--validate``) and export the
+    result as a named artifact (``--export``).
+
+    .. code-block:: shell
+
+        python -m repro query runs/cm1 --scenario cm1 --ebn0-min 4 \\
+            --export cm1-curves
+
 Grid axes accept comma-separated lists (``--scenario awgn,cm1``); the
 Eb/N0 axis also accepts ``start:stop[:step]`` with an *inclusive* stop
 and a default step of 1 (``--ebn0 0:12:1`` is the thirteen integer
@@ -56,7 +74,9 @@ from repro.obs.recorder import Recorder
 from repro.obs.report import load_run_events, render_report
 from repro.runs.artifacts import export_curves
 from repro.runs.driver import RunDriver, RunManifest
-from repro.runs.store import ResultStore
+from repro.runs.store import STORE_FORMATS, ResultStore
+from repro.runs.warehouse import (gc_store, migrate_run, migrate_store,
+                                  query_store, validate_store)
 from repro.sim.engine import SweepEngine, sweep_grid
 
 __all__ = ["build_parser", "main"]
@@ -224,6 +244,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--name", default=None, metavar="NAME",
                        help="run name (default: derived from the grid "
                             "digest)")
+    sweep.add_argument("--store-format", choices=STORE_FORMATS,
+                       default=None,
+                       help="result-store backend for a new run: 'jsonl' "
+                            "(append-only files, the historical default) "
+                            "or 'sqlite' (the queryable warehouse; see "
+                            "python -m repro query).  Default: whatever "
+                            "the store already holds, else "
+                            "REPRO_STORE_FORMAT, else jsonl.  An existing "
+                            "run keeps its format (convert with "
+                            "python -m repro store migrate)")
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="simulate cache misses on N worker processes "
                             "(results return through shared memory, "
@@ -261,6 +291,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run directory holding events.jsonl")
     report.add_argument("--top", type=int, default=5, metavar="K",
                         help="how many slowest chunks to list (default: 5)")
+
+    store = commands.add_parser(
+        "store", help="warehouse maintenance: migrate a JSONL store to "
+                      "SQLite, compact/garbage-collect a warehouse")
+    actions = store.add_subparsers(dest="store_command", required=True)
+
+    migrate = actions.add_parser(
+        "migrate", help="convert a JSONL store (or run directory) to the "
+                        "SQLite warehouse format, verified bit-identical")
+    migrate.add_argument("dir", metavar="DIR",
+                         help="a store directory, or a run directory "
+                              "(its manifest is updated too)")
+    migrate.add_argument("--dry-run", action="store_true",
+                         help="report what would be copied without "
+                              "writing anything")
+    migrate.add_argument("--remove-jsonl", action="store_true",
+                         help="delete the JSONL source files after the "
+                              "migration verifies (default: keep them)")
+
+    gc = actions.add_parser(
+        "gc", help="compact a warehouse and apply a retention policy "
+                   "(never changes any live lookup result)")
+    gc.add_argument("dir", metavar="DIR",
+                    help="a store directory, or a run directory")
+    gc.add_argument("--keep-runs", type=int, default=None, metavar="N",
+                    help="drop keys required only by runs older than the "
+                         "N most recently registered (default: keep "
+                         "every key)")
+    gc.add_argument("--no-compact", action="store_true",
+                    help="skip merging each key's contiguous chunks into "
+                         "one pooled row")
+    gc.add_argument("--drop-stranded", action="store_true",
+                    help="also delete chunks stranded beyond a coverage "
+                         "gap (unreachable by lookups, but usable by a "
+                         "resuming driver)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would happen without writing "
+                         "anything")
+
+    query = commands.add_parser(
+        "query", help="assemble curves across all runs in a warehouse "
+                      "by scenario/modulation/Eb-N0/config")
+    query.add_argument("dir", metavar="DIR",
+                       help="a store directory, or a run directory")
+    query.add_argument("--scenario", type=parse_name_axis, default=None,
+                       metavar="NAME[,NAME...]",
+                       help="only these channel scenarios")
+    query.add_argument("--mod", type=parse_name_axis, default=None,
+                       metavar="NAME[,NAME...]",
+                       help="only these modulations")
+    query.add_argument("--ebn0-min", type=float, default=None,
+                       metavar="DB", help="inclusive lower Eb/N0 bound")
+    query.add_argument("--ebn0-max", type=float, default=None,
+                       metavar="DB", help="inclusive upper Eb/N0 bound")
+    query.add_argument("--config", default=None, metavar="PREFIX",
+                       help="only points whose config digest starts with "
+                            "this hex prefix")
+    query.add_argument("--min-packets", type=int, default=None,
+                       metavar="N",
+                       help="only points with at least N contiguously "
+                            "covered packets")
+    query.add_argument("--validate", action="store_true",
+                       help="also run the escalation-consistency check "
+                            "and list statistically inconsistent chunks")
+    query.add_argument("--export", default=None, metavar="NAME",
+                       help="export the assembled curves as a named "
+                            "CSV/JSON artifact")
+    query.add_argument("--export-dir", default=None, metavar="DIR",
+                       help="directory for --export (default: "
+                            "<run>/artifacts next to a run directory, "
+                            "else the store directory)")
     return parser
 
 
@@ -350,7 +451,8 @@ def _command_sweep(args, out) -> int:
     driver = RunDriver.create(run_dir, engine, points,
                               num_packets=args.packets,
                               payload_bits_per_packet=args.payload_bits,
-                              num_shards=num_shards, name=name)
+                              num_shards=num_shards, name=name,
+                              store_format=args.store_format)
     manifest = driver.manifest
     print(f"run: {run_dir} (grid {manifest.grid_digest()[:12]}, "
           f"seed {manifest.seed}, {len(manifest.points)} point(s), "
@@ -413,7 +515,7 @@ def _command_merge(args, out) -> int:
 def _command_show(args, out) -> int:
     driver = RunDriver.open(args.run)
     manifest = driver.manifest
-    store = ResultStore(driver.store_dir)
+    store = driver.open_store()
     measured = sum(
         1 for point in manifest.points
         if store.lookup(driver._key_for(point), manifest.num_packets)
@@ -439,7 +541,7 @@ def _command_show(args, out) -> int:
     total_packets = sum(entry["packets_stored"]
                         for entry in progress.values())
     print(f"store     : {total_chunks} chunk(s) holding {total_packets} "
-          f"packet(s)", file=out)
+          f"packet(s) [{manifest.store_format}]", file=out)
     for shard_index, entry in sorted(progress.items()):
         print(f"shard {shard_index:>3} : {entry['status']} "
               f"({entry['points_measured']}/{entry['points_total']} "
@@ -462,6 +564,93 @@ def _command_report(args, out) -> int:
     return 0
 
 
+def _resolve_store_dir(path):
+    """``DIR`` may be a run directory or a bare store directory.
+
+    Returns ``(store_dir, run_dir_or_None)``: a directory holding a
+    ``manifest.json`` is a run directory whose store lives in
+    ``store/``; anything else is treated as the store itself.
+    """
+    from pathlib import Path
+    path = Path(path)
+    if (path / "manifest.json").is_file():
+        return path / "store", path
+    return path, None
+
+
+def _command_store(args, out) -> int:
+    if args.store_command == "migrate":
+        store_dir, run_dir = _resolve_store_dir(args.dir)
+        if run_dir is not None:
+            report = migrate_run(run_dir, dry_run=args.dry_run,
+                                 remove_jsonl=args.remove_jsonl)
+        else:
+            report = migrate_store(store_dir, dry_run=args.dry_run,
+                                   remove_jsonl=args.remove_jsonl)
+        print(report.summary(), file=out)
+        return 0
+    # gc
+    store_dir, run_dir = _resolve_store_dir(args.dir)
+    store = ResultStore.open(store_dir)
+    try:
+        protected = []
+        if run_dir is not None:
+            manifest = RunManifest.load(run_dir)
+            if not manifest.custom_config:
+                driver = RunDriver.open(run_dir)
+                protected = [driver._key_for(point)
+                             for point in manifest.points]
+        report = gc_store(store, keep_runs=args.keep_runs,
+                          compact=not args.no_compact,
+                          drop_stranded=args.drop_stranded,
+                          dry_run=args.dry_run, protected_keys=protected)
+    finally:
+        store.close()
+    print(report.summary(), file=out)
+    return 0
+
+
+def _command_query(args, out) -> int:
+    store_dir, run_dir = _resolve_store_dir(args.dir)
+    store = ResultStore.open(store_dir)
+    try:
+        result = query_store(store, scenarios=args.scenario,
+                             modulations=args.mod,
+                             ebn0_min=args.ebn0_min,
+                             ebn0_max=args.ebn0_max,
+                             config_digest=args.config,
+                             min_packets=args.min_packets)
+        print(f"query matched {result.summary()}", file=out)
+        if result.entries:
+            _print_curves(result, out)
+        if args.validate:
+            findings = validate_store(store)
+            if findings:
+                print(f"validation: {len(findings)} statistically "
+                      "inconsistent chunk(s)", file=out)
+                for finding in findings:
+                    print(f"  {finding.describe()}", file=out)
+            else:
+                print("validation: all escalations consistent", file=out)
+        if args.export is not None:
+            if args.export_dir is not None:
+                export_dir = args.export_dir
+            elif run_dir is not None:
+                export_dir = run_dir / "artifacts"
+            else:
+                export_dir = store_dir
+            artifact = export_curves(result, export_dir, args.export,
+                                     metadata={
+                                         "source": "query",
+                                         "store": str(store_dir),
+                                         "points": len(result.entries),
+                                     })
+            print(f"exported {artifact.json_path} (+ .csv)", file=out)
+    finally:
+        store.close()
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = sys.stdout if out is None else out
@@ -469,7 +658,8 @@ def main(argv=None, out=None) -> int:
     args = parser.parse_args(argv)
     handler = {"sweep": _command_sweep, "resume": _command_resume,
                "merge": _command_merge, "show": _command_show,
-               "report": _command_report}[args.command]
+               "report": _command_report, "store": _command_store,
+               "query": _command_query}[args.command]
     try:
         return handler(args, out)
     except (ValueError, KeyError, FileNotFoundError) as error:

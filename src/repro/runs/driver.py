@@ -36,7 +36,9 @@ from repro.obs.ledger import (LEDGER_NAME, SUMMARY_NAME, EventLedger,
 from repro.obs.recorder import activate
 from repro.sim.engine import (SweepEngine, SweepPoint, SweepResult,
                               _chunk_spans)
-from repro.runs.store import ResultStore, measurement_key
+from repro.runs.store import (STORE_FORMATS, ResultStore,
+                              default_store_format, detect_store_format,
+                              measurement_key)
 from repro.utils.io import atomic_write_text
 from repro.utils.validation import require_int
 
@@ -85,6 +87,14 @@ class RunManifest:
     is coverage, not identity, and is excluded from :meth:`grid_digest`
     (manifests written before chunking load as ``None`` and old
     point-level cache entries stay readable).
+
+    ``store_format`` records which result-store backend the run's cache
+    directory uses (``"jsonl"``, the historical default, or
+    ``"sqlite"`` — see :mod:`repro.runs.warehouse`); every store access
+    goes through it, so a migrated run keeps opening with the right
+    backend.  Like the coverage fields it is excluded from
+    :meth:`grid_digest` — the backend changes where bytes live, never
+    what they mean.
     """
 
     name: str
@@ -100,10 +110,16 @@ class RunManifest:
     code_version: str
     array_backend: str = "numpy"
     chunk_packets: int | None = None
+    store_format: str = "jsonl"
     points: tuple[SweepPoint, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         require_int(self.num_shards, "num_shards", minimum=1)
+        if self.store_format not in STORE_FORMATS:
+            raise ValueError(
+                f"run manifest names unknown store format "
+                f"{self.store_format!r}; known formats: "
+                f"{', '.join(STORE_FORMATS)}")
         require_int(self.num_packets, "num_packets", minimum=1)
         if self.chunk_packets is not None:
             require_int(self.chunk_packets, "chunk_packets", minimum=1)
@@ -173,6 +189,7 @@ class RunManifest:
             "code_version": self.code_version,
             "array_backend": self.array_backend,
             "chunk_packets": self.chunk_packets,
+            "store_format": self.store_format,
             "points": [_point_to_dict(point) for point in self.points],
         }
 
@@ -198,6 +215,7 @@ class RunManifest:
                 array_backend=str(data.get("array_backend", "numpy")),
                 chunk_packets=(None if data.get("chunk_packets") is None
                                else int(data["chunk_packets"])),
+                store_format=str(data.get("store_format", "jsonl")),
                 points=tuple(_point_from_dict(point)
                              for point in data["points"]))
         except (KeyError, TypeError) as error:
@@ -296,7 +314,8 @@ class RunDriver:
     @classmethod
     def create(cls, run_dir, engine: SweepEngine, points,
                num_packets: int = 32, payload_bits_per_packet: int = 64,
-               num_shards: int = 1, name: str | None = None) -> "RunDriver":
+               num_shards: int = 1, name: str | None = None,
+               store_format: str | None = None) -> "RunDriver":
         """Start (or idempotently re-open) a run directory for a grid.
 
         When ``run_dir`` already holds a manifest, the requested grid must
@@ -307,9 +326,21 @@ class RunDriver:
         manifest adopts the new budget and shard completion markers are
         cleared, so re-running shards simulates only each point's missing
         tail chunk.
+
+        ``store_format`` picks the result-store backend for a *new* run
+        (``None`` defers to whatever the store directory already holds,
+        then to ``REPRO_STORE_FORMAT``, then ``"jsonl"``).  An existing
+        run keeps its recorded format; explicitly requesting a different
+        one raises and points at ``python -m repro store migrate``.
         """
+        from dataclasses import replace
+
         run_dir = Path(run_dir)
         points = tuple(points)
+        resolved_format = store_format
+        if resolved_format is None:
+            resolved_format = detect_store_format(run_dir / _STORE_DIR) \
+                or default_store_format()
         manifest = RunManifest(
             name=name if name is not None else run_dir.name,
             seed=engine.seed,
@@ -324,9 +355,18 @@ class RunDriver:
             code_version=_code_version(),
             array_backend=engine.array_backend,
             chunk_packets=engine.chunk_packets,
+            store_format=resolved_format,
             points=points)
         if (run_dir / _MANIFEST_NAME).is_file():
             existing = RunManifest.load(run_dir)
+            if store_format is not None \
+                    and store_format != existing.store_format:
+                raise ValueError(
+                    f"run {run_dir} uses the {existing.store_format!r} "
+                    f"store format, not {store_format!r}; convert it "
+                    f"with: python -m repro store migrate {run_dir}")
+            manifest = replace(manifest,
+                               store_format=existing.store_format)
             if existing.grid_digest() != manifest.grid_digest():
                 raise ValueError(
                     f"run directory {run_dir} already holds a different "
@@ -395,10 +435,51 @@ class RunDriver:
         return (self.run_dir / _SHARDS_DIR
                 / (self.manifest.shard_file_stem(shard_index) + ".done"))
 
+    def open_store(self, writer_name: str = "store.jsonl") -> ResultStore:
+        """Open the run's store with the manifest's recorded backend."""
+        return ResultStore.open(self.store_dir,
+                                format=self.manifest.store_format,
+                                writer_name=writer_name)
+
     def store_for_shard(self, shard_index: int) -> ResultStore:
-        """The shared store, appending to this shard's own JSONL file."""
+        """The shared store, writing under this shard's own writer name.
+
+        On the JSONL backend that is the shard's private append file; on
+        the SQLite backend the name becomes each chunk row's provenance
+        tag.
+        """
         stem = self.manifest.shard_file_stem(shard_index)
-        return ResultStore(self.store_dir, writer_name=stem + ".jsonl")
+        return self.open_store(writer_name=stem + ".jsonl")
+
+    def register_with_warehouse(self, store: ResultStore) -> None:
+        """Populate a warehouse store's point metadata and run registry.
+
+        Describes every manifest point's measurement key (scenario,
+        modulation, Eb/N0, config digest — what ``python -m repro
+        query`` filters on) and registers the run's key requirements
+        (what ``store gc --keep-runs`` retains by).  A no-op on backends
+        without a registry (the JSONL format).
+        """
+        if not hasattr(store, "register_run"):
+            return
+        manifest = self.manifest
+        entries = []
+        keys = []
+        for point in manifest.points:
+            key = self._key_for(point)
+            keys.append(key)
+            entries.append((key, {
+                "scenario": point.scenario,
+                "modulation": point.modulation,
+                "adc_bits": point.adc_bits,
+                "ebn0_db": point.ebn0_db,
+                "config_digest": manifest.config_digest,
+                "payload_bits_per_packet":
+                    manifest.payload_bits_per_packet,
+            }))
+        store.describe_keys(entries)
+        store.register_run(manifest.name, manifest.grid_digest(),
+                           manifest.num_packets, keys)
 
     def _key_for(self, point: SweepPoint) -> str:
         return measurement_key(self.engine.point_digest(point),
@@ -455,6 +536,7 @@ class RunDriver:
         recorder = self.engine.recorder
         points = manifest.points_for_shard(shard_index)
         store = self.store_for_shard(shard_index)
+        self.register_with_warehouse(store)
         report = RunReport(shard_index=shard_index,
                            num_shards=manifest.num_shards,
                            points_total=len(points))
@@ -560,7 +642,7 @@ class RunDriver:
         """Per-shard state: ``done``, ``partial`` (some points cached) or
         ``pending``."""
         status: dict[int, str] = {}
-        store = ResultStore(self.store_dir)
+        store = self.open_store()
         for index in range(self.manifest.num_shards):
             if self._marker_path(index).is_file():
                 status[index] = "done"
@@ -583,7 +665,7 @@ class RunDriver:
         so it works on live, crashed, and finished runs alike.
         """
         statuses = self.shard_status()
-        store = ResultStore(self.store_dir)
+        store = self.open_store()
         progress: dict[int, dict] = {}
         for index in range(self.manifest.num_shards):
             points = self.manifest.points_for_shard(index)
@@ -635,7 +717,7 @@ class RunDriver:
         (default) a missing point raises; ``strict=False`` returns the
         measured subset (useful for eyeballing a run in flight).
         """
-        store = ResultStore(self.store_dir)
+        store = self.open_store()
         entries = []
         missing = []
         for point in self.manifest.points:

@@ -14,14 +14,32 @@ and later requested at 50 000 keeps its original chunk and only simulates
 the 30 000-packet tail; counts are additive, so chunks merge into one
 pooled :class:`BERPoint`.
 
-Persistence is append-only JSONL — one record per line, one file per
-writer — with each append issued as a single ``write`` on an
-``O_APPEND`` descriptor followed by fsync, so concurrent shard processes
-never interleave partial lines and a crash can at worst lose the final
-record.  Loading tolerates corrupt or truncated lines (it skips them with
-a warning and counts them in :attr:`ResultStore.corrupt_records`), so a
-damaged cache degrades to re-simulating the affected points rather than
-failing the run.
+Two persistence backends implement the same store contract
+(``lookup`` / ``add_chunk`` / ``add_chunks`` / ``chunks_for`` /
+``coverage`` / ``keys``, pinned cross-backend by
+``tests/runs/store_contract.py``):
+
+``"jsonl"`` (this module, the historical default)
+    Append-only JSONL — one record per line, one file per writer — with
+    each append issued as a single ``write`` on an ``O_APPEND``
+    descriptor followed by fsync, so concurrent shard processes never
+    interleave partial lines and a crash can at worst lose the final
+    record.
+``"sqlite"`` (:mod:`repro.runs.warehouse`)
+    A single WAL-mode SQLite database with transactional multi-chunk
+    ingest and indexed point metadata powering cross-run queries,
+    compaction/GC and the ``python -m repro query`` command.
+
+:meth:`ResultStore.open` selects a backend explicitly, from the
+``REPRO_STORE_FORMAT`` environment variable, or by sniffing what a
+directory already holds; reads are bit-identical across backends and
+:func:`repro.runs.warehouse.migrate_store` converts between them.
+
+Loading tolerates corrupt or truncated records (it skips them with a
+warning, counts them in :attr:`ResultStore.corrupt_records` and bumps
+the ``store.corrupt_lines`` telemetry counter), so a damaged cache
+degrades to re-simulating the affected points rather than failing the
+run.
 """
 
 from __future__ import annotations
@@ -36,9 +54,56 @@ from pathlib import Path
 from repro.core.metrics import BERPoint
 from repro.obs.recorder import active
 
-__all__ = ["ResultStore", "StoredChunk", "measurement_key"]
+__all__ = [
+    "ResultStore",
+    "STORE_FORMATS",
+    "StoredChunk",
+    "default_store_format",
+    "detect_store_format",
+    "measurement_key",
+]
 
 _SCHEMA_VERSION = 1
+
+#: The store backends :meth:`ResultStore.open` can dispatch to.
+STORE_FORMATS = ("jsonl", "sqlite")
+
+#: Environment variable naming the default store format for new stores.
+STORE_FORMAT_ENV = "REPRO_STORE_FORMAT"
+
+#: File name of the SQLite warehouse inside a store directory.
+SQLITE_FILENAME = "warehouse.sqlite"
+
+
+def default_store_format() -> str:
+    """The store format new stores get without an explicit choice.
+
+    Reads ``REPRO_STORE_FORMAT`` (``"jsonl"`` or ``"sqlite"``); unset or
+    empty means ``"jsonl"``, anything else raises ``ValueError``.
+    """
+    value = os.environ.get(STORE_FORMAT_ENV, "").strip().lower()
+    if not value:
+        return "jsonl"
+    if value not in STORE_FORMATS:
+        raise ValueError(
+            f"{STORE_FORMAT_ENV}={value!r} names an unknown store format; "
+            f"known formats: {', '.join(STORE_FORMATS)}")
+    return value
+
+
+def detect_store_format(directory) -> str | None:
+    """The format an existing store directory holds, or ``None`` if empty.
+
+    A ``warehouse.sqlite`` file wins over stray JSONL files (a migrated
+    store keeps its JSONL sources around until they are removed), so a
+    migrated directory keeps opening as SQLite.
+    """
+    directory = Path(directory)
+    if (directory / SQLITE_FILENAME).is_file():
+        return "sqlite"
+    if directory.is_dir() and any(directory.glob("*.jsonl")):
+        return "jsonl"
+    return None
 
 
 def measurement_key(point_digest: str, config_digest: str,
@@ -100,6 +165,13 @@ class StoredChunk:
 class ResultStore:
     """JSONL-backed, content-addressed cache of sweep measurements.
 
+    This class is both the ``"jsonl"`` backend and the base class every
+    store backend derives from: the in-memory chunk index and all query
+    methods (:meth:`lookup`, :meth:`coverage`, :meth:`chunks_for`, ...)
+    are shared, so reads are bit-identical across backends by
+    construction — a backend only overrides how chunks persist
+    (:meth:`reload` and ``_persist``).
+
     Parameters
     ----------
     directory:
@@ -109,8 +181,12 @@ class ResultStore:
     writer_name:
         File new chunks are appended to (default ``store.jsonl``).  Shard
         drivers pass a per-shard name so concurrent machines never write
-        the same file.
+        the same file.  The SQLite backend keeps the name as a per-chunk
+        provenance tag instead.
     """
+
+    #: The backend's format name (what ``--store-format`` selects).
+    format = "jsonl"
 
     def __init__(self, directory, writer_name: str = "store.jsonl") -> None:
         if not writer_name.endswith(".jsonl"):
@@ -120,6 +196,31 @@ class ResultStore:
         self.corrupt_records = 0
         self._chunks: dict[str, list[StoredChunk]] = {}
         self.reload()
+
+    @classmethod
+    def open(cls, directory, format: str | None = None,
+             writer_name: str = "store.jsonl") -> "ResultStore":
+        """Open a store directory with the right backend (the factory).
+
+        ``format`` resolution, in order: an explicit ``"jsonl"`` /
+        ``"sqlite"`` argument wins; otherwise whatever format the
+        directory already holds (:func:`detect_store_format`) — an
+        existing store never silently switches backend; otherwise
+        :func:`default_store_format` (``REPRO_STORE_FORMAT``, default
+        ``"jsonl"``) decides for brand-new stores.
+        """
+        if format is None:
+            format = detect_store_format(directory) or default_store_format()
+        if format == "jsonl":
+            return ResultStore(directory, writer_name=writer_name)
+        if format == "sqlite":
+            from repro.runs.warehouse import SQLiteResultStore
+            return SQLiteResultStore(directory, writer_name=writer_name)
+        raise ValueError(f"unknown store format {format!r}; known formats: "
+                         f"{', '.join(STORE_FORMATS)}")
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the JSONL backend)."""
 
     # ------------------------------------------------------------------
     # Loading
@@ -142,13 +243,20 @@ class ResultStore:
                 try:
                     chunk = StoredChunk.from_record(json.loads(line))
                 except (json.JSONDecodeError, ValueError) as error:
-                    self.corrupt_records += 1
-                    warnings.warn(
-                        f"skipping corrupt result-store record "
-                        f"({path.name}:{line_number}): {error}",
-                        stacklevel=2)
+                    self._note_corrupt_record(
+                        f"{path.name}:{line_number}", error)
                     continue
                 self._index(chunk)
+
+    def _note_corrupt_record(self, location: str, error) -> None:
+        # One warning + one telemetry tick per damaged record, shared by
+        # every backend's loader: `python -m repro show` surfaces the
+        # count, the `store.corrupt_lines` counter lands in the ledger.
+        self.corrupt_records += 1
+        warnings.warn(
+            f"skipping corrupt result-store record ({location}): {error}",
+            stacklevel=3)
+        active().counter("store.corrupt_lines", backend=self.format)
 
     def _index(self, chunk: StoredChunk) -> None:
         chunks = self._chunks.setdefault(chunk.key, [])
@@ -172,6 +280,14 @@ class ResultStore:
     def keys(self) -> tuple[str, ...]:
         """Every measurement key present in the store, sorted."""
         return tuple(sorted(self._chunks))
+
+    def stored_chunks(self, key: str) -> tuple[StoredChunk, ...]:
+        """Every stored chunk for ``key``, ordered by packet offset.
+
+        The raw records — what the migration ETL copies between backends
+        and what the escalation-consistency validation pass inspects.
+        """
+        return tuple(self._chunks.get(key, ()))
 
     def chunks_for(self, key: str) -> dict[int, int]:
         """Every stored chunk for ``key`` as ``{packet_offset: num_packets}``.
@@ -203,6 +319,26 @@ class ResultStore:
         re-runs get bit-identical results because coverage then equals the
         request.
         """
+        merged, covered = self._merge_prefix(key)
+        if covered < num_packets:
+            active().counter("store.lookup_misses", backend=self.format)
+            return None
+        active().counter("store.lookup_hits", backend=self.format)
+        return merged
+
+    def pooled(self, key: str) -> BERPoint | None:
+        """The pooled contiguous-prefix measurement, however much is there.
+
+        Unlike :meth:`lookup` there is no coverage requirement (and no
+        hit/miss accounting): this is the query-layer accessor — curve
+        assembly across runs wants whatever each key currently holds.
+        Returns ``None`` when the store has no offset-0 chunk for
+        ``key``.
+        """
+        merged, _ = self._merge_prefix(key)
+        return merged
+
+    def _merge_prefix(self, key: str) -> tuple[BERPoint | None, int]:
         merged: BERPoint | None = None
         covered = 0
         for chunk in self._chunks.get(key, ()):
@@ -211,11 +347,7 @@ class ResultStore:
             covered += chunk.num_packets
             merged = (chunk.measurement if merged is None
                       else merged.merge(chunk.measurement))
-        if covered < num_packets:
-            active().counter("store.lookup_misses")
-            return None
-        active().counter("store.lookup_hits")
-        return merged
+        return merged, covered
 
     # ------------------------------------------------------------------
     # Writes
@@ -224,32 +356,72 @@ class ResultStore:
                   measurement: BERPoint) -> StoredChunk:
         """Persist one simulated chunk and index it.
 
-        The record is serialized to a single line and appended with one
-        ``os.write`` on an ``O_APPEND`` descriptor + fsync: atomic with
-        respect to concurrent appenders on the same file and durable up to
-        the last completed record on crash.
+        A single-item :meth:`add_chunks`; see there for the atomicity
+        contract.
         """
-        chunk = StoredChunk(key=key, packet_offset=int(packet_offset),
-                            measurement=measurement)
-        existing = self._chunks.get(key, ())
-        for other in existing:
-            if other.packet_offset == chunk.packet_offset:
-                if other.measurement != measurement:
+        return self.add_chunks([(key, packet_offset, measurement)])[0]
+
+    def add_chunks(self, items) -> list[StoredChunk]:
+        """Ingest ``(key, packet_offset, measurement)`` triples as one batch.
+
+        All conflict checking happens *before* anything is written, so a
+        failing ingest (a chunk that collides with a different stored
+        measurement) raises ``ValueError`` and leaves the store
+        untouched.  Replays — chunks already present with identical
+        measurements — are idempotent and skipped.  The fresh remainder
+        persists as one unit: the JSONL backend serializes the batch
+        into a single ``os.write`` on an ``O_APPEND`` descriptor + fsync
+        (atomic with respect to concurrent appenders, torn at worst at
+        the final record on crash), the SQLite backend commits one
+        transaction (all rows or none).  Returns the stored chunk per
+        item, in input order.
+        """
+        staged: list[StoredChunk] = []
+        staged_slots: dict[tuple[str, int], StoredChunk] = {}
+        results: list[StoredChunk] = []
+        for key, packet_offset, measurement in items:
+            chunk = StoredChunk(key=key, packet_offset=int(packet_offset),
+                                measurement=measurement)
+            slot = (chunk.key, chunk.packet_offset)
+            existing = self._existing_chunk(chunk) or staged_slots.get(slot)
+            if existing is not None:
+                if existing.measurement != measurement:
                     raise ValueError(
                         f"store already holds a different measurement for "
                         f"key {key[:12]}... at offset {packet_offset}")
+                results.append(existing)
+                continue
+            staged.append(chunk)
+            staged_slots[slot] = chunk
+            results.append(chunk)
+        if staged:
+            self._persist(staged)
+            for chunk in staged:
+                self._index(chunk)
+            active().counter("store.chunks_added", len(staged),
+                             backend=self.format)
+            active().counter("store.packets_added",
+                             sum(chunk.num_packets for chunk in staged),
+                             backend=self.format)
+        return results
+
+    def _existing_chunk(self, chunk: StoredChunk) -> StoredChunk | None:
+        for other in self._chunks.get(chunk.key, ()):
+            if other.packet_offset == chunk.packet_offset:
                 return other
-        line = json.dumps(chunk.to_record(), sort_keys=True) + "\n"
+        return None
+
+    def _persist(self, chunks: list[StoredChunk]) -> None:
+        # The JSONL backend's write primitive: the whole batch as one
+        # O_APPEND write + fsync on this store's writer file.
+        text = "".join(json.dumps(chunk.to_record(), sort_keys=True) + "\n"
+                       for chunk in chunks)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / self.writer_name
         descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
                              0o644)
         try:
-            os.write(descriptor, line.encode("utf-8"))
+            os.write(descriptor, text.encode("utf-8"))
             os.fsync(descriptor)
         finally:
             os.close(descriptor)
-        self._index(chunk)
-        active().counter("store.chunks_added")
-        active().counter("store.packets_added", chunk.num_packets)
-        return chunk

@@ -61,3 +61,56 @@ class TestExport:
         path.write_text('{"artifact_version": 7}')
         with pytest.raises(ValueError, match="unsupported artifact"):
             load_artifact(path)
+
+
+class TestQuerySourcedExport:
+    """Artifacts assembled from warehouse queries round-trip losslessly."""
+
+    @pytest.fixture
+    def warehouse(self, tmp_path):
+        from repro.runs import query_store
+        grid = sweep_grid([2.0, 4.0, 6.0], adc_bits=(None, 2))
+        driver = RunDriver.create(tmp_path / "run", SweepEngine(seed=9),
+                                  grid, num_packets=4,
+                                  payload_bits_per_packet=16,
+                                  store_format="sqlite")
+        driver.run_shard(0)
+        # A second, escalated run over the same warehouse: the query
+        # sees the pooled multi-run coverage, not one run's slice.
+        escalated = RunDriver.create(tmp_path / "run", SweepEngine(seed=9),
+                                     grid, num_packets=7,
+                                     payload_bits_per_packet=16)
+        escalated.run_shard(0)
+        store = escalated.open_store()
+        yield query_store(store), escalated
+        store.close()
+
+    def test_query_result_exports_and_loads_bit_identical(self, tmp_path,
+                                                          warehouse):
+        result, driver = warehouse
+        artifact = export_curves(result, tmp_path / "artifacts", "query",
+                                 metadata={"source": "query"})
+        loaded = load_artifact(artifact.json_path)
+        assert loaded.metadata == {"source": "query"}
+        assert set(loaded.curves) == {"awgn/bpsk", "awgn/bpsk/adc2"}
+        # JSON round-trip is bit-identical to the queried measurements
+        # — which are themselves the driver's merged curves.
+        for label, curve in driver.merge().curves().items():
+            assert loaded.curve(label).points == curve.points
+            assert all(point.packets_sent == 7
+                       for point in loaded.curve(label).points)
+
+    def test_csv_rows_match_queried_points(self, tmp_path, warehouse):
+        result, _ = warehouse
+        artifact = export_curves(result, tmp_path, "query")
+        with open(artifact.csv_path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.entries) == 6
+        by_key = {(row["curve"], float(row["ebn0_db"])): row
+                  for row in rows}
+        for entry in result.entries:
+            row = by_key[(entry["label"], entry["ebn0_db"])]
+            measurement = entry["measurement"]
+            assert int(row["bit_errors"]) == measurement.bit_errors
+            assert int(row["total_bits"]) == measurement.total_bits
+            assert float(row["ber"]) == measurement.ber

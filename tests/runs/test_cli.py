@@ -229,3 +229,120 @@ class TestObservability:
         code, _ = run_cli("report", str(tmp_path / "demo"))
         assert code == 2
         assert "--telemetry" in capsys.readouterr().err
+
+
+class TestWarehouseCLI:
+    def test_sqlite_sweep_caches_and_matches_jsonl(self, tmp_path):
+        code, out = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                            "--name", "wh", "--store-format", "sqlite")
+        assert code == 0
+        assert "3 simulated, 0 cached" in out
+        assert (tmp_path / "wh" / "store" / "warehouse.sqlite").is_file()
+
+        code, out = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                            "--name", "wh", "--store-format", "sqlite")
+        assert code == 0
+        assert "0 simulated, 3 cached" in out
+
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "plain")
+        _, sqlite_merge = run_cli("merge", "--run", str(tmp_path / "wh"))
+        _, jsonl_merge = run_cli("merge", "--run", str(tmp_path / "plain"))
+        # Same curves line for line; only the artifact paths differ.
+        assert sqlite_merge.splitlines()[1:] == jsonl_merge.splitlines()[1:]
+
+        code, out = run_cli("show", "--run", str(tmp_path / "wh"))
+        assert code == 0
+        assert "packet(s) [sqlite]" in out
+
+    def test_existing_format_conflict_fails_cleanly(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, _ = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                          "--name", "demo", "--store-format", "sqlite")
+        assert code == 2
+        assert "store migrate" in capsys.readouterr().err
+
+    def test_store_migrate_run_then_cached_rerun(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        run_dir = tmp_path / "demo"
+
+        code, out = run_cli("store", "migrate", str(run_dir), "--dry-run")
+        assert code == 0
+        assert "would copy 3 of 3 chunk(s)" in out
+        assert not (run_dir / "store" / "warehouse.sqlite").exists()
+
+        code, out = run_cli("store", "migrate", str(run_dir))
+        assert code == 0
+        assert "copied 3 of 3 chunk(s)" in out
+        assert "manifest store_format set to sqlite" in out
+        assert (run_dir / "store" / "warehouse.sqlite").is_file()
+
+        # The migrated run serves the next sweep entirely from sqlite.
+        code, out = run_cli(*SWEEP_ARGS, "--out", str(tmp_path),
+                            "--name", "demo")
+        assert code == 0
+        assert "0 simulated, 3 cached" in out
+        code, out = run_cli("show", "--run", str(run_dir))
+        assert "packet(s) [sqlite]" in out
+
+    def test_store_gc_compacts_migrated_run(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo",
+                "--chunk-packets", "2")
+        run_dir = tmp_path / "demo"
+        run_cli("store", "migrate", str(run_dir))
+        code, out = run_cli("store", "gc", str(run_dir),
+                            "--keep-runs", "1")
+        assert code == 0
+        assert "dropped 0 of 3 key(s)" in out
+        assert "compacted 6 chunk(s)" in out
+        # Lookups survive the compaction: the re-run is still all cached.
+        code, out = run_cli("sweep", "--ebn0", "4:8:2", "--packets", "4",
+                            "--payload-bits", "32", "--chunk-packets", "2",
+                            "--out", str(tmp_path), "--name", "demo")
+        assert "0 simulated, 3 cached" in out
+
+    def test_store_gc_requires_sqlite(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, _ = run_cli("store", "gc", str(tmp_path / "demo"))
+        assert code == 2
+        assert "store migrate" in capsys.readouterr().err
+
+    def test_query_run_directory(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo",
+                "--store-format", "sqlite")
+        run_dir = tmp_path / "demo"
+        code, out = run_cli("query", str(run_dir))
+        assert code == 0
+        assert "query matched 3 point(s) across 1 curve(s)" in out
+        assert "awgn/bpsk" in out
+
+        code, out = run_cli("query", str(run_dir), "--ebn0-min", "5",
+                            "--ebn0-max", "7")
+        assert "query matched 1 point(s)" in out
+
+        code, out = run_cli("query", str(run_dir), "--scenario", "cm1")
+        assert "query matched 0 point(s)" in out
+
+        code, out = run_cli("query", str(run_dir), "--validate")
+        assert "validation: all escalations consistent" in out
+
+    def test_query_export_writes_artifact(self, tmp_path):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo",
+                "--store-format", "sqlite")
+        run_dir = tmp_path / "demo"
+        code, out = run_cli("query", str(run_dir), "--export", "assembled")
+        assert code == 0
+        assert "exported" in out
+        artifact = load_artifact(run_dir / "artifacts" / "assembled.json")
+        assert artifact.metadata["source"] == "query"
+        assert artifact.metadata["points"] == 3
+        # The exported curve equals the run's own merged artifact.
+        run_cli("merge", "--run", str(run_dir))
+        merged = load_artifact(run_dir / "artifacts" / "demo.json")
+        assert artifact.curves["awgn/bpsk"].points == \
+            merged.curves["awgn/bpsk"].points
+
+    def test_query_requires_sqlite(self, tmp_path, capsys):
+        run_cli(*SWEEP_ARGS, "--out", str(tmp_path), "--name", "demo")
+        code, _ = run_cli("query", str(tmp_path / "demo"))
+        assert code == 2
+        assert "store migrate" in capsys.readouterr().err

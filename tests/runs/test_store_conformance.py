@@ -1,0 +1,120 @@
+"""The store-conformance harness, applied to every backend.
+
+One contract (``store_contract.StoreConformanceContract``), two
+backends: the append-only JSONL format and the SQLite warehouse.  Both
+subclasses run the identical matrix — lookup/coverage/escalation,
+atomic batch ingest, corrupt-input recovery, crash-mid-write,
+concurrent readers — and the cross-format class pins the equivalence
+property the migration path relies on: any interleaving of writes
+produces stores that answer every query identically.
+"""
+
+import numpy as np
+import pytest
+
+from store_contract import StoreConformanceContract, make_point
+
+from repro.runs import ResultStore, measurement_key
+
+
+class TestJSONLStoreConformance(StoreConformanceContract):
+    """The historical append-only JSONL backend."""
+
+    format = "jsonl"
+
+
+class TestSQLiteStoreConformance(StoreConformanceContract):
+    """The WAL-mode SQLite warehouse backend."""
+
+    format = "sqlite"
+
+
+class TestCrossFormatEquivalence:
+    """Random write interleavings must be observationally identical."""
+
+    def _random_operations(self, rng, num_keys=4, num_ops=40,
+                           unique_slots=False):
+        keys = [measurement_key(f"{index:02d}" * 32, "c" * 64, 64)
+                for index in range(num_keys)]
+        # Chunks of one key all measure one operating point, so the
+        # Eb/N0 is a function of the key (as it is in real stores).
+        ebn0_by_key = {key: float(2.0 + 2.0 * (index % 3))
+                       for index, key in enumerate(keys)}
+        operations = []
+        used = set()
+        while len(operations) < num_ops:
+            key = keys[int(rng.integers(num_keys))]
+            offset = int(rng.choice([0, 5, 10, 15, 20, 40]))
+            if unique_slots:
+                if (key, offset) in used:
+                    if len(used) == num_keys * 6:
+                        break  # every slot taken
+                    continue
+                used.add((key, offset))
+            packets = int(rng.integers(1, 8))
+            errors = int(rng.integers(0, 3))
+            operations.append((key, offset, make_point(
+                ebn0_db=ebn0_by_key[key],
+                bit_errors=errors, total_bits=packets * 64,
+                packets_sent=packets, packets_failed=min(errors, packets))))
+        return keys, operations
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_random_interleavings_yield_identical_stores(self, tmp_path,
+                                                         seed):
+        # Conflict-free operations (unique (key, offset) slots) applied
+        # in a *different* random order per backend: the stores must
+        # still answer every query identically — ingest order is not
+        # part of the contract.
+        rng = np.random.default_rng(seed)
+        keys, operations = self._random_operations(rng, unique_slots=True)
+        jsonl = ResultStore.open(tmp_path / "jsonl", format="jsonl")
+        sqlite = ResultStore.open(tmp_path / "sqlite", format="sqlite")
+        for store in (jsonl, sqlite):
+            for index in rng.permutation(len(operations)):
+                key, offset, measurement = operations[index]
+                store.add_chunk(key, offset, measurement)
+        assert jsonl.keys() == sqlite.keys()
+        for key in keys:
+            assert jsonl.chunks_for(key) == sqlite.chunks_for(key)
+            assert jsonl.coverage(key) == sqlite.coverage(key)
+            assert jsonl.pooled(key) == sqlite.pooled(key)
+            for requested in (1, 5, 10, 25, 60):
+                assert jsonl.lookup(key, requested) == \
+                    sqlite.lookup(key, requested), (key[:8], requested)
+        jsonl.close()
+        sqlite.close()
+
+    @pytest.mark.parametrize("seed", [3, 99])
+    def test_same_order_interleaving_is_bit_identical(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        keys, operations = self._random_operations(rng)
+        stores = {fmt: ResultStore.open(tmp_path / fmt, format=fmt)
+                  for fmt in ("jsonl", "sqlite")}
+        for key, offset, measurement in operations:
+            outcomes = {}
+            for fmt, store in stores.items():
+                try:
+                    store.add_chunk(key, offset, measurement)
+                    outcomes[fmt] = "ok"
+                except ValueError:
+                    outcomes[fmt] = "conflict"
+            assert outcomes["jsonl"] == outcomes["sqlite"], \
+                (key[:8], offset)
+        jsonl, sqlite = stores["jsonl"], stores["sqlite"]
+        assert jsonl.keys() == sqlite.keys()
+        for key in keys:
+            assert jsonl.chunks_for(key) == sqlite.chunks_for(key)
+            assert jsonl.coverage(key) == sqlite.coverage(key)
+            assert jsonl.pooled(key) == sqlite.pooled(key)
+            for requested in (1, 5, 10, 25, 60):
+                assert jsonl.lookup(key, requested) == \
+                    sqlite.lookup(key, requested), (key[:8], requested)
+        # And both survive a reload with identical answers.
+        for store in stores.values():
+            store.reload()
+        for key in keys:
+            assert jsonl.chunks_for(key) == sqlite.chunks_for(key)
+            assert jsonl.pooled(key) == sqlite.pooled(key)
+        for store in stores.values():
+            store.close()
