@@ -8,7 +8,10 @@ scenarios.  This benchmark runs the same 20-point Eb/N0 BER sweep two ways:
 * **batched**: :class:`repro.sim.SweepEngine` with the vectorized kernel.
 
 and checks the batched path is at least 10x faster while producing a sane
-BER curve (monotone trend, tracks the waterfall region).
+BER curve (monotone trend, tracks the waterfall region).  The curve
+assertions are unconditional; the timing floor goes through the shared
+:func:`bench_utils.required_speedup` policy, which derates it on hosts
+with fewer than two usable CPUs unless ``REPRO_BENCH_STRICT=1``.
 """
 
 import time
@@ -21,7 +24,8 @@ from repro.core.link import LinkSimulator
 from repro.core.transceiver import Gen2Transceiver
 from repro.sim import SweepEngine
 
-from bench_utils import format_ber, print_header, print_table
+from bench_utils import (format_ber, print_header, print_table,
+                         required_speedup)
 
 EBN0_GRID_DB = np.arange(0.0, 10.0, 0.5)          # 20 operating points
 NUM_PACKETS = 6
@@ -68,16 +72,19 @@ def test_bench_sweep_engine(benchmark):
 
     print_header("BENCH-SWEEP",
                  "20-point BER sweep: per-packet stack vs batched engine")
+    required, floor_note = required_speedup(MIN_SPEEDUP)
     print(f"legacy  : {results['legacy_s'] * 1e3:8.1f} ms")
     print(f"batched : {results['batched_s'] * 1e3:8.1f} ms")
-    print(f"speedup : {speedup:8.1f}x (floor: {MIN_SPEEDUP:.0f}x)")
+    print(f"speedup : {speedup:8.1f}x (floor: {required:.0f}x [{floor_note}])")
     print()
     print_table(
         ["Eb/N0 [dB]", "BER (legacy)", "BER (batched)"],
         [[f"{point.ebn0_db:.1f}", format_ber(point.ber), format_ber(fast.ber)]
          for point, fast in zip(legacy.points, batched.points)])
 
-    assert speedup >= MIN_SPEEDUP
+    assert speedup >= required, (
+        f"batched sweep managed only {speedup:.1f}x over the per-packet "
+        f"loop (timing floor: >= {required:.1f}x, {floor_note})")
 
     # The batched curve must behave like a BER waterfall: high at 0 dB,
     # (near) error-free at the top of the sweep.

@@ -8,6 +8,13 @@ EXPERIMENTS.md can quote it directly.
 to a machine-readable ledger (``BENCH_7.json`` at the repo root, or the
 path in ``REPRO_BENCH_JSON``), so speedup claims can be tracked across
 code revisions instead of scraped from CI logs.
+
+:func:`required_speedup` is the shared timing-floor policy: speedup
+assertions are derated on hosts with fewer than two usable CPUs (where
+measured ratios drift with scheduler contention — the way the fullstack
+benchmarks went flaky inside full-suite runs on small boxes) unless
+``REPRO_BENCH_STRICT=1`` enforces the calibrated floors.  Parity and
+correctness assertions are never derated.
 """
 
 import json
@@ -16,7 +23,43 @@ import subprocess
 from pathlib import Path
 
 __all__ = ["print_header", "print_table", "format_ber",
-           "append_bench_record"]
+           "append_bench_record", "required_speedup", "usable_cpus",
+           "DERATED_SPEEDUP"]
+
+#: Timing floor on hosts that cannot reproduce the calibrated speedups
+#: (< 2 usable CPUs, REPRO_BENCH_STRICT unset): the fast path must still
+#: beat the reference, just not by the calibrated margin.
+DERATED_SPEEDUP = 1.0
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def required_speedup(nominal: float) -> tuple[float, str]:
+    """The timing floor this host must meet, and why.
+
+    With ``REPRO_BENCH_STRICT=1`` the nominal (calibrated) floor always
+    applies; otherwise hosts with fewer than two usable CPUs fall back
+    to :data:`DERATED_SPEEDUP` — a 1-CPU or affinity-restricted box
+    cannot reproduce a calibrated ratio, its timings are at the mercy of
+    whatever else the machine is doing.  Only timing assertions go
+    through this; parity assertions are unconditional.
+    """
+    if os.environ.get("REPRO_BENCH_STRICT", "").strip() == "1":
+        return nominal, "strict (REPRO_BENCH_STRICT=1)"
+    cpus = usable_cpus()
+    if cpus >= 2:
+        return nominal, f"calibrated floor ({cpus} usable CPUs)"
+    return DERATED_SPEEDUP, (
+        f"derated: only {cpus} usable CPU(s) — the calibrated "
+        f">= {nominal:.0f}x floor needs an uncontended timing host "
+        "(set REPRO_BENCH_STRICT=1 to enforce it anyway)")
+
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 _BENCH_LEDGER = "BENCH_7.json"

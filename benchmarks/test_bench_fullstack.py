@@ -33,6 +33,17 @@ oracle (the conservative direction: a load spike during the oracle run
 shrinks the asserted ratio's slack, never inflates the claim past what
 the table prints).
 
+The error-count **parity assertions are unconditional** — they hold on
+any machine, loaded or not.  The **timing assertions are split from
+them** and derated on hosts with fewer than two usable CPUs: a 1-CPU (or
+affinity-restricted) box cannot reproduce the calibrated speedups — the
+measured ratio drifts with whatever else the machine is doing, which is
+exactly how these benchmarks went flaky inside full-suite runs — so
+there the floor drops to "the batched path must still win"
+(``DERATED_SPEEDUP``).  Set ``REPRO_BENCH_STRICT=1`` to enforce the full
+calibrated floors regardless of CPU count (what a dedicated benchmark
+host should do).
+
 A third benchmark covers chunk-granular scheduling ("Chunk-granular
 scheduling" on the ROADMAP): one hot CM1 fullstack point decomposed into
 seeded packet chunks and fanned across four workers must beat the
@@ -50,7 +61,8 @@ from repro.core.config import Gen1Config, Gen2Config
 from repro.sim import SweepEngine, sweep_grid
 
 from bench_utils import (append_bench_record, format_ber, print_header,
-                         print_table)
+                         print_table, required_speedup as _required_speedup,
+                         usable_cpus as _usable_cpus)
 
 EBN0_DB = 6.0
 SEED = 3
@@ -131,20 +143,25 @@ def test_bench_fullstack_vs_packet_loop(benchmark):
     print_table(["receiver config", "point", "packet loop", "fullstack",
                  "speedup", "BER"], table)
 
+    # Parity: unconditional — the speedup claim is only meaningful
+    # because the measurements are the same measurements.
     for (name, _, _, packet, _, fullstack, _) in rows:
-        # The speedup claim is only meaningful because the measurements
-        # are the same measurements.
         assert packet.bit_errors == fullstack.bit_errors, name
         assert packet.packets_failed == fullstack.packets_failed, name
 
+    # Timing: split from parity and derated on hosts that cannot
+    # reproduce the calibrated ratio (see _required_speedup).
     headline = {row[0]: row for row in rows}[HEADLINE]
     speedup = headline[4] / max(headline[6], 1e-9)
+    required, floor_note = _required_speedup(REQUIRED_SPEEDUP)
+    print(f"timing floor: >= {required:.1f}x [{floor_note}]")
     append_bench_record("bench-fullstack/gen2-paper-grade", headline[6],
-                        speedup=speedup, backend="fullstack")
-    assert speedup >= REQUIRED_SPEEDUP, (
+                        speedup=speedup, backend="fullstack",
+                        required_speedup=required)
+    assert speedup >= required, (
         f"batched full-stack receiver managed only {speedup:.1f}x over the "
         f"packet loop on the {HEADLINE!r} CM1 point (acceptance: "
-        f">= {REQUIRED_SPEEDUP:.0f}x)")
+        f">= {required:.1f}x, {floor_note})")
 
 
 @pytest.mark.benchmark(group="bench-fullstack")
@@ -187,20 +204,25 @@ def test_bench_fullstack_gen1_vs_packet_loop(benchmark):
     print_table(["gen-1 config", "point", "packet loop", "fullstack",
                  "speedup", "BER"], table)
 
+    # Parity: unconditional — the speedup claim is only meaningful
+    # because the measurements are the same measurements.
     for (name, _, _, packet, _, fullstack, _) in rows:
-        # The speedup claim is only meaningful because the measurements
-        # are the same measurements.
         assert packet.bit_errors == fullstack.bit_errors, name
         assert packet.packets_failed == fullstack.packets_failed, name
 
+    # Timing: split from parity and derated on hosts that cannot
+    # reproduce the calibrated ratio (see _required_speedup).
     headline = {row[0]: row for row in rows}[GEN1_HEADLINE]
     speedup = headline[4] / max(headline[6], 1e-9)
+    required, floor_note = _required_speedup(GEN1_REQUIRED_SPEEDUP)
+    print(f"timing floor: >= {required:.1f}x [{floor_note}]")
     append_bench_record("bench-fullstack/gen1-paper-grade", headline[6],
-                        speedup=speedup, backend="fullstack")
-    assert speedup >= GEN1_REQUIRED_SPEEDUP, (
+                        speedup=speedup, backend="fullstack",
+                        required_speedup=required)
+    assert speedup >= required, (
         f"batched gen-1 front end managed only {speedup:.1f}x over the "
         f"packet loop on the {GEN1_HEADLINE!r} point (acceptance: "
-        f">= {GEN1_REQUIRED_SPEEDUP:.0f}x)")
+        f">= {required:.1f}x, {floor_note})")
 
 
 @pytest.mark.benchmark(group="bench-fullstack")

@@ -48,6 +48,20 @@ Subcommands:
         python -m repro query runs/cm1 --scenario cm1 --ebn0-min 4 \\
             --export cm1-curves
 
+``serve`` / ``worker`` / ``submit``
+    The sweep service (:mod:`repro.serve`): ``serve`` runs the broker —
+    grids in over HTTP, seeded packet-chunk leases out to pull workers,
+    results into one shared content-addressed store; ``worker`` runs a
+    puller against a broker; ``submit`` sends a grid (same axes as
+    ``sweep``) and with ``--wait`` streams the curve as chunks land.
+
+    .. code-block:: shell
+
+        python -m repro serve --store runs/shared &
+        python -m repro worker --broker http://127.0.0.1:8765 &
+        python -m repro submit --broker http://127.0.0.1:8765 \\
+            --ebn0 0:8:2 --packets 64 --wait
+
 Grid axes accept comma-separated lists (``--scenario awgn,cm1``); the
 Eb/N0 axis also accepts ``start:stop[:step]`` with an *inclusive* stop
 and a default step of 1 (``--ebn0 0:12:1`` is the thirteen integer
@@ -158,6 +172,73 @@ def parse_shard_spec(text: str) -> tuple[int, int]:
     return index, total
 
 
+def _add_grid_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the shared grid/engine axes (used by sweep and submit)."""
+    command.add_argument("--ebn0", type=parse_ebn0_axis, required=True,
+                         metavar="START:STOP[:STEP]|DB[,DB...]",
+                         help="Eb/N0 axis in dB: START:STOP[:STEP] with an "
+                              "inclusive stop and a default step of 1 "
+                              "(e.g. 0:12:1 is the thirteen points 0..12), "
+                              "or a comma-separated list (e.g. 0,4,8.5)")
+    command.add_argument("--scenario", type=parse_name_axis,
+                         default=("awgn",), metavar="NAME[,NAME...]",
+                         help="channel scenario axis, comma-separated "
+                              "registry names (default: awgn; see "
+                              "repro.sim.SCENARIOS, e.g. awgn,two_ray,cm1)")
+    command.add_argument("--mod", type=parse_name_axis, default=("bpsk",),
+                         metavar="NAME[,NAME...]",
+                         help="modulation axis, comma-separated (default: "
+                              "bpsk; also ook, ppm, pam4)")
+    command.add_argument("--adc-bits", type=parse_adc_bits_axis,
+                         default=(None,), metavar="BITS[,BITS...]",
+                         help="ADC resolution axis, comma-separated "
+                              "integers; 'none' (or 'default') keeps the "
+                              "config default and may be mixed in "
+                              "(e.g. none,1,4)")
+    command.add_argument("--packets", type=int, default=32, metavar="N",
+                         help="packets per grid point (default: 32); "
+                              "raising it on an existing run simulates "
+                              "only the missing tail chunk per point")
+    command.add_argument("--payload-bits", type=int, default=64,
+                         metavar="N",
+                         help="payload bits per packet (default: 64)")
+    command.add_argument("--chunk-packets", type=int, default=None,
+                         metavar="N",
+                         help="split every point's packet budget into "
+                              "seeded chunks of N packets — the "
+                              "schedulable, cacheable unit of work, "
+                              "recorded in the manifest; with --workers, "
+                              "the chunks of all points (hot single points "
+                              "included) fan out over the pool (default: "
+                              "one chunk per point, the historical layout)")
+    command.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="engine root seed (default: 0)")
+    command.add_argument("--generation", choices=("gen1", "gen2"),
+                         default="gen2",
+                         help="transceiver generation (default: gen2)")
+    command.add_argument("--backend",
+                         choices=("batch", "fullstack", "packet"),
+                         default="batch",
+                         help="simulation backend: 'batch' is the "
+                              "vectorized genie-timed kernel, 'fullstack' "
+                              "the batched full receiver chain (real "
+                              "acquisition/channel estimation/RAKE, bit-"
+                              "decision-identical to 'packet'; batches end "
+                              "to end for both generations, including the "
+                              "gen-1 interleaved-flash front end), "
+                              "'packet' the per-packet reference stack "
+                              "(default: batch)")
+    command.add_argument("--array-backend",
+                         choices=("numpy", "cupy", "jax"), default=None,
+                         help="array backend the batch kernel runs on "
+                              "(default: the REPRO_ARRAY_BACKEND "
+                              "environment variable, else numpy); an "
+                              "explicitly named accelerator must be "
+                              "importable")
+    command.add_argument("--no-quantize", action="store_true",
+                         help="batch backend: skip AGC + ADC quantization")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (sweep/resume/merge/show)."""
     parser = argparse.ArgumentParser(
@@ -174,64 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
                "--mod bpsk,ook --adc-bits none,1,4 sweeps the full "
                "cartesian grid; --shard 1/4 runs the second of four "
                "round-robin shards.")
-    sweep.add_argument("--ebn0", type=parse_ebn0_axis, required=True,
-                       metavar="START:STOP[:STEP]|DB[,DB...]",
-                       help="Eb/N0 axis in dB: START:STOP[:STEP] with an "
-                            "inclusive stop and a default step of 1 "
-                            "(e.g. 0:12:1 is the thirteen points 0..12), "
-                            "or a comma-separated list (e.g. 0,4,8.5)")
-    sweep.add_argument("--scenario", type=parse_name_axis, default=("awgn",),
-                       metavar="NAME[,NAME...]",
-                       help="channel scenario axis, comma-separated "
-                            "registry names (default: awgn; see "
-                            "repro.sim.SCENARIOS, e.g. awgn,two_ray,cm1)")
-    sweep.add_argument("--mod", type=parse_name_axis, default=("bpsk",),
-                       metavar="NAME[,NAME...]",
-                       help="modulation axis, comma-separated (default: "
-                            "bpsk; also ook, ppm, pam4)")
-    sweep.add_argument("--adc-bits", type=parse_adc_bits_axis,
-                       default=(None,), metavar="BITS[,BITS...]",
-                       help="ADC resolution axis, comma-separated integers; "
-                            "'none' (or 'default') keeps the config "
-                            "default and may be mixed in (e.g. none,1,4)")
-    sweep.add_argument("--packets", type=int, default=32, metavar="N",
-                       help="packets per grid point (default: 32); raising "
-                            "it on an existing run simulates only the "
-                            "missing tail chunk per point")
-    sweep.add_argument("--payload-bits", type=int, default=64, metavar="N",
-                       help="payload bits per packet (default: 64)")
-    sweep.add_argument("--chunk-packets", type=int, default=None,
-                       metavar="N",
-                       help="split every point's packet budget into seeded "
-                            "chunks of N packets — the schedulable, "
-                            "cacheable unit of work, recorded in the "
-                            "manifest; with --workers, the chunks of all "
-                            "points (hot single points included) fan out "
-                            "over the pool (default: one chunk per point, "
-                            "the historical layout)")
-    sweep.add_argument("--seed", type=int, default=0, metavar="N",
-                       help="engine root seed (default: 0)")
-    sweep.add_argument("--generation", choices=("gen1", "gen2"),
-                       default="gen2",
-                       help="transceiver generation (default: gen2)")
-    sweep.add_argument("--backend", choices=("batch", "fullstack", "packet"),
-                       default="batch",
-                       help="simulation backend: 'batch' is the vectorized "
-                            "genie-timed kernel, 'fullstack' the batched "
-                            "full receiver chain (real acquisition/channel "
-                            "estimation/RAKE, bit-decision-identical to "
-                            "'packet'; batches end to end for both "
-                            "generations, including the gen-1 interleaved-"
-                            "flash front end), 'packet' the per-packet "
-                            "reference stack (default: batch)")
-    sweep.add_argument("--array-backend",
-                       choices=("numpy", "cupy", "jax"), default=None,
-                       help="array backend the batch kernel runs on "
-                            "(default: the REPRO_ARRAY_BACKEND environment "
-                            "variable, else numpy); an explicitly named "
-                            "accelerator must be importable")
-    sweep.add_argument("--no-quantize", action="store_true",
-                       help="batch backend: skip AGC + ADC quantization")
+    _add_grid_arguments(sweep)
     sweep.add_argument("--shard", type=parse_shard_spec, default=(0, 1),
                        metavar="I/K",
                        help="execute shard I of K (0 <= I < K, default "
@@ -362,6 +386,73 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for --export (default: "
                             "<run>/artifacts next to a run directory, "
                             "else the store directory)")
+
+    serve = commands.add_parser(
+        "serve", help="run the sweep broker: lease chunks of submitted "
+                      "grids to pull workers over HTTP")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="shared content-addressed result store "
+                            "directory every job caches into")
+    serve.add_argument("--store-format", choices=STORE_FORMATS,
+                       default=None,
+                       help="store backend for a fresh directory "
+                            "(default: detect, then REPRO_STORE_FORMAT, "
+                            "then jsonl)")
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765, metavar="N",
+                       help="bind port; 0 picks a free one (default: 8765)")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds a chunk lease survives without a "
+                            "heartbeat before it is re-queued "
+                            "(default: 30)")
+    serve.add_argument("--max-attempts", type=int, default=5, metavar="N",
+                       help="lease grants per chunk before it and its "
+                            "jobs are failed (default: 5)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+
+    worker = commands.add_parser(
+        "worker", help="run a pull worker against a sweep broker")
+    worker.add_argument("--broker", required=True, metavar="URL",
+                        help="broker base URL (as printed by serve, e.g. "
+                             "http://127.0.0.1:8765)")
+    worker.add_argument("--name", default=None, metavar="NAME",
+                        help="worker name reported at registration "
+                             "(default: broker-assigned id)")
+    worker.add_argument("--poll-interval", type=float, default=0.2,
+                        metavar="S",
+                        help="seconds between lease polls while idle "
+                             "(default: 0.2)")
+    worker.add_argument("--exit-when-idle", action="store_true",
+                        help="stop once the broker has no pending or "
+                             "leased chunks (instead of idling)")
+    worker.add_argument("--max-chunks", type=int, default=None,
+                        metavar="N",
+                        help="stop after committing N chunks "
+                             "(default: unlimited)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a sweep grid to a broker over HTTP",
+        epilog="the grid axes are identical to sweep's; the broker "
+               "decomposes the grid into seeded packet chunks and "
+               "workers execute them — the merged curve is bit-identical "
+               "to a local sweep of the same grid.")
+    submit.add_argument("--broker", required=True, metavar="URL",
+                        help="broker base URL (as printed by serve)")
+    _add_grid_arguments(submit)
+    submit.add_argument("--name", default=None, metavar="NAME",
+                        help="job name shown in broker status")
+    submit.add_argument("--wait", action="store_true",
+                        help="long-poll until the job completes, "
+                             "printing the curve as chunks land")
+    submit.add_argument("--export", default=None, metavar="NAME",
+                        help="with --wait: export the final curves as a "
+                             "named CSV/JSON artifact")
+    submit.add_argument("--export-dir", default="artifacts", metavar="DIR",
+                        help="directory for --export "
+                             "(default: artifacts)")
     return parser
 
 
@@ -651,6 +742,91 @@ def _command_query(args, out) -> int:
     return 0
 
 
+def _command_serve(args, out) -> int:
+    from repro.serve.api import create_server
+    from repro.serve.broker import Broker
+    broker = Broker(args.store, store_format=args.store_format,
+                    lease_timeout_s=args.lease_timeout,
+                    max_attempts=args.max_attempts)
+    server = create_server(broker, host=args.host, port=args.port,
+                           verbose=args.verbose)
+    print(f"serving on {server.url} (store: {args.store} "
+          f"[{broker.store.format}], lease timeout "
+          f"{args.lease_timeout:g}s)", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        broker.close()
+    return 0
+
+
+def _command_worker(args, out) -> int:
+    from repro.serve.worker import Worker
+    worker = Worker(args.broker, name=args.name,
+                    poll_interval_s=args.poll_interval,
+                    exit_when_idle=args.exit_when_idle)
+    tally = worker.run(max_chunks=args.max_chunks)
+    print(f"worker {tally['worker_id']}: "
+          f"{tally['chunks_committed']} chunk(s) committed, "
+          f"{tally['chunks_abandoned']} abandoned, "
+          f"{tally['chunks_failed']} failed", file=out)
+    return 0
+
+
+def _command_submit(args, out) -> int:
+    from repro.serve.broker import result_from_curve_payload
+    from repro.serve.worker import BrokerClient
+    client = BrokerClient(args.broker)
+    points = sweep_grid(args.ebn0, scenarios=args.scenario,
+                        modulations=args.mod, adc_bits=args.adc_bits)
+    spec = {
+        "points": [{"ebn0_db": point.ebn0_db, "scenario": point.scenario,
+                    "modulation": point.modulation,
+                    "adc_bits": point.adc_bits} for point in points],
+        "num_packets": args.packets,
+        "payload_bits_per_packet": args.payload_bits,
+        "chunk_packets": args.chunk_packets,
+        "seed": args.seed,
+        "generation": args.generation,
+        "backend": args.backend,
+        "quantize": not args.no_quantize,
+        "array_backend": args.array_backend,
+        "name": args.name,
+    }
+    job = client.submit(spec)
+    print(f"job {job['job_id']}: {job['points_total']} point(s), "
+          f"{job['chunks_total']} chunk(s) "
+          f"({job['points_cached_at_submit']} point(s) already cached, "
+          f"{job['chunks_shared']} chunk(s) shared with other jobs)",
+          file=out, flush=True)
+    if not args.wait:
+        print(f"poll with: GET {args.broker}/api/v1/jobs/{job['job_id']}"
+              "/curve", file=out)
+        return 0
+    payload = client.wait_for_curve(job["job_id"])
+    print(f"job {job['job_id']} {payload['state']}: "
+          f"{payload['points_measured']}/{payload['points_total']} "
+          "point(s) measured", file=out)
+    result = result_from_curve_payload(payload)
+    _print_curves(result, out)
+    if args.export is not None:
+        artifact = export_curves(result, args.export_dir, args.export,
+                                 metadata={
+                                     "source": "serve",
+                                     "broker": args.broker,
+                                     "job_id": job["job_id"],
+                                     "num_packets": args.packets,
+                                     "payload_bits_per_packet":
+                                         args.payload_bits,
+                                     "seed": args.seed,
+                                 })
+        print(f"exported {artifact.json_path} (+ .csv)", file=out)
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = sys.stdout if out is None else out
@@ -659,7 +835,9 @@ def main(argv=None, out=None) -> int:
     handler = {"sweep": _command_sweep, "resume": _command_resume,
                "merge": _command_merge, "show": _command_show,
                "report": _command_report, "store": _command_store,
-               "query": _command_query}[args.command]
+               "query": _command_query, "serve": _command_serve,
+               "worker": _command_worker, "submit": _command_submit}[
+                   args.command]
     try:
         return handler(args, out)
     except (ValueError, KeyError, FileNotFoundError) as error:

@@ -35,7 +35,7 @@ from repro.obs.ledger import (LEDGER_NAME, SUMMARY_NAME, EventLedger,
                               write_summary)
 from repro.obs.recorder import activate
 from repro.sim.engine import (SweepEngine, SweepPoint, SweepResult,
-                              _chunk_spans)
+                              chunk_spans)
 from repro.runs.store import (STORE_FORMATS, ResultStore,
                               default_store_format, detect_store_format,
                               measurement_key)
@@ -559,8 +559,8 @@ class RunDriver:
                 continue
             covered = store.coverage(key)
             stored = store.chunks_for(key)
-            spans = _chunk_spans(requested - covered,
-                                 manifest.chunk_packets, covered)
+            spans = chunk_spans(requested - covered,
+                                manifest.chunk_packets, covered)
             missing = [(offset, packets) for offset, packets in spans
                        if stored.get(offset) != packets]
             chunks_resumed += len(spans) - len(missing)

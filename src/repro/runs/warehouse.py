@@ -31,7 +31,11 @@ whenever a shard executes against a SQLite store.
 
 The store stays **single-writer**: one process ingests at a time
 (SQLite's write lock enforces it; a 30 s busy timeout absorbs handoffs),
-while concurrent readers are free under WAL.
+while concurrent readers are free under WAL.  A writer that out-waits
+the timeout gets a :class:`StoreLockedError` naming the store directory
+and the remediation — route concurrent writers through one broker
+(``python -m repro serve``) or retry — rather than a bare
+``sqlite3.OperationalError: database is locked``.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ __all__ = [
     "MigrationReport",
     "QueryResult",
     "SQLiteResultStore",
+    "StoreLockedError",
     "ValidationFinding",
     "gc_store",
     "migrate_run",
@@ -57,6 +62,20 @@ __all__ = [
     "query_store",
     "validate_store",
 ]
+
+
+class StoreLockedError(RuntimeError):
+    """Another process holds the warehouse's write lock.
+
+    SQLite stores are **single-writer**: concurrent ingest from several
+    processes serializes on the database write lock, and a writer that
+    out-waits the busy timeout surfaces here (instead of as a raw
+    ``sqlite3.OperationalError: database is locked`` deep in a shard).
+    The message names the store and the two remediations: route
+    concurrent writers through one broker (``python -m repro serve``,
+    whose lease queue makes every commit a single-process write), or
+    retry after the competing writer finishes.
+    """
 
 #: Version of the warehouse database schema (the ``meta`` table pins it).
 WAREHOUSE_SCHEMA_VERSION = 1
@@ -117,13 +136,20 @@ class SQLiteResultStore(ResultStore):
 
     ``writer_name`` (the per-shard JSONL file name in the base class) is
     kept as a per-chunk provenance tag in the ``writer`` column.
+
+    ``busy_timeout_s`` is how long a write waits for a competing
+    writer's lock before raising :class:`StoreLockedError` (default
+    30 s — generous enough to absorb shard handoffs; tests shrink it to
+    exercise the conflict path without waiting).
     """
 
     #: The backend's format name (what ``--store-format`` selects).
     format = "sqlite"
 
-    def __init__(self, directory, writer_name: str = "store.jsonl") -> None:
+    def __init__(self, directory, writer_name: str = "store.jsonl",
+                 busy_timeout_s: float = 30.0) -> None:
         self._connection: sqlite3.Connection | None = None
+        self.busy_timeout_s = float(busy_timeout_s)
         super().__init__(directory, writer_name=writer_name)
 
     # ------------------------------------------------------------------
@@ -140,7 +166,8 @@ class SQLiteResultStore(ResultStore):
         if not create and not self.database_path.is_file():
             return None
         self.directory.mkdir(parents=True, exist_ok=True)
-        connection = sqlite3.connect(self.database_path, timeout=30.0,
+        connection = sqlite3.connect(self.database_path,
+                                     timeout=self.busy_timeout_s,
                                      isolation_level=None)
         connection.execute("PRAGMA journal_mode=WAL")
         connection.execute("PRAGMA synchronous=FULL")
@@ -165,6 +192,29 @@ class SQLiteResultStore(ResultStore):
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+
+    def _begin_write(self, connection) -> None:
+        """Open the single-writer transaction (``BEGIN IMMEDIATE``).
+
+        A lock held past the busy timeout raises
+        :class:`StoreLockedError` naming the store directory and the
+        remediation, instead of leaking SQLite's bare ``database is
+        locked`` with no hint of *which* database or what to do.
+        """
+        try:
+            connection.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError as error:
+            text = str(error).lower()
+            if "locked" not in text and "busy" not in text:
+                raise
+            raise StoreLockedError(
+                f"result store {self.directory} is locked by another "
+                f"writer (waited {self.busy_timeout_s:g}s for "
+                f"{self.database_path.name}).  The SQLite warehouse is "
+                "single-writer: route concurrent writers through one "
+                f"broker (python -m repro serve --store {self.directory} "
+                "serializes commits via chunk leases), or retry after "
+                "the competing writer finishes") from None
 
     # ------------------------------------------------------------------
     # Persistence primitives (the backend contract)
@@ -216,7 +266,7 @@ class SQLiteResultStore(ResultStore):
                  chunk.measurement.total_bits,
                  chunk.measurement.packets_failed,
                  self.writer_name) for chunk in fresh]
-        connection.execute("BEGIN IMMEDIATE")
+        self._begin_write(connection)
         try:
             connection.executemany(
                 "INSERT INTO chunks (key, packet_offset, packets_sent, "
@@ -274,7 +324,7 @@ class SQLiteResultStore(ResultStore):
         if not rows:
             return
         connection = self._connect(create=True)
-        connection.execute("BEGIN IMMEDIATE")
+        self._begin_write(connection)
         try:
             connection.executemany(
                 "INSERT OR REPLACE INTO points (key, scenario, modulation, "
@@ -312,7 +362,7 @@ class SQLiteResultStore(ResultStore):
         """
         keys = tuple(keys)
         connection = self._connect(create=True)
-        connection.execute("BEGIN IMMEDIATE")
+        self._begin_write(connection)
         try:
             stale = [row[0] for row in connection.execute(
                 "SELECT run_id FROM runs WHERE name = ? AND "
@@ -619,7 +669,7 @@ def gc_store(store: ResultStore, keep_runs: int | None = None,
     if dry_run or connection is None:
         return report
 
-    connection.execute("BEGIN IMMEDIATE")
+    store._begin_write(connection)
     try:
         for key in dropped_keys:
             connection.execute("DELETE FROM chunks WHERE key = ?", (key,))

@@ -1,0 +1,39 @@
+"""Sweep service: a broker that leases seeded packet chunks to workers.
+
+ROADMAP item 1 ("one shared cache, many clients") realized as a small
+stdlib-only service.  Clients submit sweep grids to a :class:`Broker`
+(usually over the HTTP API in :mod:`repro.serve.api`); the broker
+decomposes each grid into the same seeded packet-chunk units the local
+:class:`repro.runs.RunDriver` schedules — identical
+:func:`repro.runs.store.measurement_key` content addresses, identical
+:func:`repro.sim.engine.chunk_spans` layout — and hands the missing
+chunks out as time-limited *leases* to pull-based workers
+(:mod:`repro.serve.worker`).  Because every chunk's random stream is
+content-seeded, a fleet run merges bit-identically to a local run of the
+same grid, whatever workers executed which chunks in whatever order.
+
+Lifecycle: ``submit -> lease -> heartbeat -> commit``.  A worker that
+dies mid-chunk simply stops heartbeating; its lease expires and the
+chunk is re-leased to the next worker.  Commits are at-most-once by
+construction: the :class:`repro.runs.ResultStore` is content-addressed
+and idempotent for identical replays, so a stale worker's late commit
+either lands as a no-op duplicate or is rejected as a conflict — it can
+never double-count packets.
+"""
+
+from repro.serve.broker import Broker, JobSpec
+from repro.serve.leases import (Lease, LeaseError, LeaseExpiredError,
+                                LeaseTable, UnknownLeaseError)
+from repro.serve.worker import BrokerClient, Worker
+
+__all__ = [
+    "Broker",
+    "BrokerClient",
+    "JobSpec",
+    "Lease",
+    "LeaseError",
+    "LeaseExpiredError",
+    "LeaseTable",
+    "UnknownLeaseError",
+    "Worker",
+]

@@ -1,0 +1,313 @@
+"""Pull workers: lease a chunk, simulate it, heartbeat, commit.
+
+:class:`BrokerClient` is a tiny urllib JSON client for the broker's
+HTTP API (:mod:`repro.serve.api`); :class:`Worker` is the loop
+``python -m repro worker`` runs: pull a lease, rebuild the engine the
+task's parameters describe, simulate exactly the leased chunk, and
+commit its measurement.
+
+Determinism is the whole point: a chunk is simulated via
+``engine.measure_points([(point, packets, offset)], ...,
+chunk_packets=packets)`` — the same seeded-chunk entry point the local
+:class:`repro.runs.RunDriver` uses — so any worker anywhere produces
+bit-identical counts for a given chunk, and the broker's merged curve
+matches a local run exactly.
+
+A heartbeat thread renews the lease while the chunk simulates.  If the
+broker reports the lease dead (expired, re-leased elsewhere), the
+worker abandons the chunk: its result is discarded locally rather than
+committed, keeping the at-most-once story clean even before the
+store's idempotency backstop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.core.metrics import BERPoint
+from repro.sim.engine import SweepEngine, SweepPoint
+
+__all__ = ["BrokerClient", "BrokerRequestError", "Worker"]
+
+
+class BrokerRequestError(RuntimeError):
+    """An HTTP request the broker rejected (carries status + error kind)."""
+
+    def __init__(self, status: int, message: str, kind: str = "error"):
+        super().__init__(f"[{status}/{kind}] {message}")
+        self.status = status
+        self.kind = kind
+
+
+class BrokerClient:
+    """JSON-over-HTTP client for the serve API (stdlib urllib only)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(body)
+                message = detail.get("error", body)
+                kind = detail.get("error_kind", "error")
+            except json.JSONDecodeError:
+                message, kind = body, "error"
+            raise BrokerRequestError(error.code, message, kind) from None
+
+    def get(self, path: str):
+        """GET ``path`` and decode the JSON response."""
+        return self._request("GET", path)
+
+    def post(self, path: str, payload=None):
+        """POST ``payload`` as JSON to ``path`` and decode the response."""
+        return self._request("POST", path, payload or {})
+
+    # -- client-side (submitters) --------------------------------------
+    def submit(self, spec: dict) -> dict:
+        """Submit a grid (a :class:`repro.serve.JobSpec` payload)."""
+        return self.post("/api/v1/jobs", spec)
+
+    def job_status(self, job_id: str) -> dict:
+        """One job's status descriptor."""
+        return self.get(f"/api/v1/jobs/{job_id}")
+
+    def curve(self, job_id: str, wait_version: int | None = None,
+              timeout_s: float = 30.0) -> dict:
+        """The job's partial curve; long-polls when ``wait_version`` is
+        given (see :meth:`repro.serve.Broker.curve`)."""
+        path = f"/api/v1/jobs/{job_id}/curve"
+        if wait_version is not None:
+            path += f"?wait_version={int(wait_version)}&timeout={timeout_s}"
+        return self.get(path)
+
+    def wait_for_curve(self, job_id: str,
+                       poll_timeout_s: float = 10.0) -> dict:
+        """Long-poll until the job reaches a terminal state; returns the
+        final curve payload (raises on a failed job)."""
+        payload = self.curve(job_id)
+        while payload["state"] == "running":
+            payload = self.curve(job_id,
+                                 wait_version=payload["version"],
+                                 timeout_s=poll_timeout_s)
+        if payload["state"] == "failed":
+            raise BrokerRequestError(500, payload.get("error")
+                                     or "job failed", "job_failed")
+        return payload
+
+    def status(self) -> dict:
+        """Service-level status (workers, queues, throughput, cache)."""
+        return self.get("/api/v1/status")
+
+    # -- worker-side ---------------------------------------------------
+    def register(self, name: str | None = None) -> dict:
+        """Register this process as a worker; returns its id."""
+        return self.post("/api/v1/workers",
+                         {"name": name} if name else {})
+
+    def lease(self, worker_id: str) -> dict:
+        """Pull the next chunk lease (``task`` is ``None`` when idle)."""
+        return self.post("/api/v1/lease", {"worker_id": worker_id})
+
+    def heartbeat(self, lease_id: str) -> dict:
+        """Renew a lease mid-chunk."""
+        return self.post("/api/v1/heartbeat", {"lease_id": lease_id})
+
+    def commit(self, lease_id: str, task_id: str,
+               measurement: dict) -> dict:
+        """Commit a simulated chunk's measurement."""
+        return self.post("/api/v1/commit",
+                         {"lease_id": lease_id, "task_id": task_id,
+                          "measurement": measurement})
+
+    def fail(self, lease_id: str, task_id: str, error: str) -> dict:
+        """Report a chunk this worker could not complete."""
+        return self.post("/api/v1/fail",
+                         {"lease_id": lease_id, "task_id": task_id,
+                          "error": error})
+
+
+class _Heartbeat:
+    """Renews one lease on a background thread while a chunk simulates.
+
+    Sets ``abandoned`` when the broker declares the lease dead, which
+    tells the worker loop to discard its in-flight result instead of
+    committing it.
+    """
+
+    def __init__(self, client: BrokerClient, lease_id: str,
+                 interval_s: float) -> None:
+        self._client = client
+        self._lease_id = lease_id
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self.abandoned = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"heartbeat-{lease_id}")
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._client.heartbeat(self._lease_id)
+            except BrokerRequestError as error:
+                if error.kind == "lease":
+                    self.abandoned.set()
+                    return
+            except OSError:
+                pass  # transient network trouble; try again next beat
+
+
+class Worker:
+    """The pull-worker loop behind ``python -m repro worker``.
+
+    Parameters
+    ----------
+    client:
+        A :class:`BrokerClient` (or a broker URL string).
+    name:
+        Human-readable worker name reported at registration.
+    poll_interval_s:
+        Sleep between lease polls while the queue is empty.
+    exit_when_idle:
+        Stop once the broker reports no pending or leased chunks at all
+        — how CI drains a fleet deterministically.
+    """
+
+    def __init__(self, client, name: str | None = None,
+                 poll_interval_s: float = 0.2,
+                 exit_when_idle: bool = False) -> None:
+        self.client = (BrokerClient(client) if isinstance(client, str)
+                       else client)
+        self.name = name
+        self.poll_interval_s = float(poll_interval_s)
+        self.exit_when_idle = bool(exit_when_idle)
+        self.worker_id: str | None = None
+        self.chunks_committed = 0
+        self.chunks_abandoned = 0
+        self.chunks_failed = 0
+        self._engines: dict[tuple, SweepEngine] = {}
+
+    def _engine_for(self, params: dict) -> SweepEngine:
+        key = (params["seed"], params["generation"], params["backend"],
+               params["quantize"], params.get("array_backend"))
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = SweepEngine(seed=int(params["seed"]),
+                                 generation=str(params["generation"]),
+                                 backend=str(params["backend"]),
+                                 quantize=bool(params["quantize"]),
+                                 array_backend=params.get("array_backend"))
+            self._engines[key] = engine
+        return engine
+
+    def simulate(self, task: dict) -> BERPoint:
+        """Simulate exactly the leased chunk, bit-identical to the local
+        driver's execution of the same span."""
+        point_data = task["point"]
+        adc_bits = point_data.get("adc_bits")
+        point = SweepPoint(
+            ebn0_db=float(point_data["ebn0_db"]),
+            scenario=str(point_data["scenario"]),
+            modulation=str(point_data["modulation"]),
+            adc_bits=None if adc_bits is None else int(adc_bits))
+        packets = int(task["num_packets"])
+        offset = int(task["packet_offset"])
+        engine = self._engine_for(task["engine"])
+        # chunk_packets == the span length: the engine must treat this
+        # span as one chunk (the broker already realized the layout),
+        # exactly like RunDriver passing chunk_packets=num_packets.
+        [measurement] = engine.measure_points(
+            [(point, packets, offset)],
+            payload_bits_per_packet=int(task["payload_bits_per_packet"]),
+            chunk_packets=packets)
+        return measurement
+
+    def _ensure_registered(self) -> str:
+        if self.worker_id is None:
+            self.worker_id = self.client.register(self.name)["worker_id"]
+        return self.worker_id
+
+    def _execute(self, response: dict) -> None:
+        """Simulate and commit the chunk a lease response carries."""
+        task = response["task"]
+        lease_id = response["lease_id"]
+        interval = max(float(response["lease_timeout_s"]) / 3.0, 0.05)
+        with _Heartbeat(self.client, lease_id, interval) as heartbeat:
+            try:
+                measurement = self.simulate(task)
+            except Exception as error:
+                # Report the failure so the chunk requeues immediately
+                # (instead of waiting out the lease), then propagate.
+                self.chunks_failed += 1
+                try:
+                    self.client.fail(lease_id, task["task_id"], str(error))
+                except (BrokerRequestError, OSError):
+                    pass
+                raise
+        if heartbeat.abandoned.is_set():
+            # The broker gave the chunk to someone else; our result is
+            # bit-identical anyway, but dropping it keeps this worker
+            # honestly at-most-once without leaning on the store.
+            self.chunks_abandoned += 1
+            return
+        self.client.commit(lease_id, task["task_id"],
+                           measurement.to_dict())
+        self.chunks_committed += 1
+
+    def run_one(self) -> bool:
+        """Pull and execute at most one chunk; False when queue is empty."""
+        self._ensure_registered()
+        response = self.client.lease(self.worker_id)
+        if response.get("task") is None:
+            return False
+        self._execute(response)
+        return True
+
+    def run(self, max_chunks: int | None = None) -> dict:
+        """Pull chunks until told to stop; returns this worker's tally.
+
+        Stops after ``max_chunks`` commits (when given), or — with
+        ``exit_when_idle`` — once the broker has no outstanding chunks
+        (neither queued nor leased); otherwise idles on
+        ``poll_interval_s`` waiting for more work.
+        """
+        self._ensure_registered()
+        while max_chunks is None or self.chunks_committed < max_chunks:
+            response = self.client.lease(self.worker_id)
+            if response.get("task") is not None:
+                self._execute(response)
+                continue
+            if self.exit_when_idle and response.get("outstanding", 0) == 0:
+                break
+            time.sleep(self.poll_interval_s)
+        return {"worker_id": self.worker_id,
+                "chunks_committed": self.chunks_committed,
+                "chunks_abandoned": self.chunks_abandoned,
+                "chunks_failed": self.chunks_failed}

@@ -67,7 +67,8 @@ from repro.utils.validation import require_int
 
 _logger = logging.getLogger(__name__)
 
-__all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid"]
+__all__ = ["SweepPoint", "SweepResult", "SweepEngine", "sweep_grid",
+           "chunk_spans"]
 
 _BACKENDS = ("batch", "packet", "fullstack")
 # 2: the gen-1 front half (pulse synthesis, real-waveform channel conv,
@@ -324,8 +325,8 @@ def _run_point(task: _PointTask) -> BERPoint:
 # ----------------------------------------------------------------------
 # Chunk decomposition and scheduling
 # ----------------------------------------------------------------------
-def _chunk_spans(num_packets: int, chunk_packets: int | None,
-                 packet_offset: int = 0) -> tuple[tuple[int, int], ...]:
+def chunk_spans(num_packets: int, chunk_packets: int | None,
+                packet_offset: int = 0) -> tuple[tuple[int, int], ...]:
     """Split a packet budget into ``(packet_offset, num_packets)`` chunk
     spans.
 
@@ -346,6 +347,11 @@ def _chunk_spans(num_packets: int, chunk_packets: int | None,
     return tuple(
         (packet_offset + start, min(chunk_packets, num_packets - start))
         for start in range(0, num_packets, chunk_packets))
+
+
+#: Backwards-compatible alias from before :func:`chunk_spans` became part
+#: of the public chunk-planning surface (the serve broker plans with it).
+_chunk_spans = chunk_spans
 
 
 #: Test-only fault-injection hook.  When set (in the parent process,
@@ -794,8 +800,8 @@ class SweepEngine:
                 proto_index[point] = index
                 prototypes.append(
                     self._task_for(point, 1, payload_bits_per_packet, 0))
-            spans = _chunk_spans(int(num_packets), chunk_packets,
-                                 int(packet_offset))
+            spans = chunk_spans(int(num_packets), chunk_packets,
+                                int(packet_offset))
             job_rows.append(list(range(len(rows), len(rows) + len(spans))))
             rows.extend((index, packets, offset)
                         for offset, packets in spans)

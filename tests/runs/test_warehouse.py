@@ -409,3 +409,38 @@ class TestSQLiteFaultResume:
         assert report.packets_simulated == 3
         assert resumed.is_complete
         assert resumed.merge() == reference.merge()
+
+
+# ----------------------------------------------------------------------
+# Single-writer enforcement: a locked warehouse fails loudly and
+# actionably, not with sqlite3's bare "database is locked"
+# ----------------------------------------------------------------------
+class TestStoreLocked:
+    def test_concurrent_writer_gets_actionable_error(self, tmp_path):
+        import sqlite3
+
+        from repro.runs.warehouse import SQLiteResultStore, StoreLockedError
+
+        store = SQLiteResultStore(tmp_path, busy_timeout_s=0.2)
+        point = make_point()  # a 10-packet chunk
+        key = measurement_key("d" * 64, "c" * 64, 64)
+        store.add_chunk(key, 0, point)
+
+        # A competing writer holds the write lock outside our control.
+        intruder = sqlite3.connect(store.database_path)
+        intruder.execute("BEGIN IMMEDIATE")
+        try:
+            with pytest.raises(StoreLockedError) as excinfo:
+                store.add_chunk(key, 10, point)
+            message = str(excinfo.value)
+            assert str(tmp_path) in message
+            assert "single-writer" in message
+            assert "repro serve" in message
+        finally:
+            intruder.rollback()
+            intruder.close()
+
+        # Once the intruder releases the lock, writes flow again.
+        store.add_chunk(key, 10, point)
+        assert store.coverage(key) == 20
+        store.close()
