@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.9.0",
     description=("Pulse-level simulation library reproducing 'Direct "
                  "Conversion Pulsed UWB Transceiver Architecture' "
                  "(Blazquez et al., DATE 2005)"),

@@ -410,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-attempts", type=int, default=5, metavar="N",
                        help="lease grants per chunk before it and its "
                             "jobs are failed (default: 5)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="directory for durable broker state: "
+                            "submissions, grants, attempt counts and "
+                            "failures are journaled to an append-only "
+                            "fsynced journal.jsonl there, and a "
+                            "restarted broker replays it against the "
+                            "store — queued jobs survive crashes and "
+                            "committed chunks are never re-simulated "
+                            "(default: in-memory queue only)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
 
@@ -432,6 +441,17 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="stop after committing N chunks "
                              "(default: unlimited)")
+    worker.add_argument("--retry-attempts", type=int, default=5,
+                        metavar="N",
+                        help="tries per request against transient "
+                             "transport errors (broker restarting, "
+                             "connection reset) before failing loudly; "
+                             "backoff is exponential with seeded "
+                             "jitter (default: 5)")
+    worker.add_argument("--retry-seed", type=int, default=0, metavar="N",
+                        help="seed for the retry jitter stream; give "
+                             "each worker its own to desynchronize a "
+                             "reconnect stampede (default: 0)")
 
     submit = commands.add_parser(
         "submit", help="submit a sweep grid to a broker over HTTP",
@@ -743,36 +763,89 @@ def _command_query(args, out) -> int:
 
 
 def _command_serve(args, out) -> int:
+    import signal
+    import threading
     from repro.serve.api import create_server
     from repro.serve.broker import Broker
     broker = Broker(args.store, store_format=args.store_format,
                     lease_timeout_s=args.lease_timeout,
-                    max_attempts=args.max_attempts)
+                    max_attempts=args.max_attempts,
+                    state_dir=args.state_dir)
     server = create_server(broker, host=args.host, port=args.port,
                            verbose=args.verbose)
+    state = (f", state: {args.state_dir} [durable]"
+             if args.state_dir is not None else "")
     print(f"serving on {server.url} (store: {args.store} "
           f"[{broker.store.format}], lease timeout "
-          f"{args.lease_timeout:g}s)", file=out, flush=True)
+          f"{args.lease_timeout:g}s{state})", file=out, flush=True)
+    totals = broker.recorder.counter_totals()
+    if totals.get("serve.jobs_recovered") \
+            or totals.get("serve.tasks_requeued"):
+        print(f"recovered {totals.get('serve.jobs_recovered', 0)} job(s) "
+              f"from the journal, requeued "
+              f"{totals.get('serve.tasks_requeued', 0)} leased task(s)",
+              file=out, flush=True)
+    # Graceful shutdown: the signal handler only flips flags (the broker
+    # stops granting leases and the journal is already fsynced per
+    # append); the main thread then tears the server down and exits 0.
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        broker.begin_shutdown()
+        stop.set()
+
+    previous = {signum: signal.signal(signum, _graceful)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+    thread = server.serve_in_thread()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        stop.wait()
+        print("shutdown: draining — no new submissions or leases; "
+              "journal is flushed (restart with the same --state-dir "
+              "to resume queued jobs)", file=out, flush=True)
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        thread.join(timeout=5.0)
         server.server_close()
         broker.close()
     return 0
 
 
 def _command_worker(args, out) -> int:
-    from repro.serve.worker import Worker
-    worker = Worker(args.broker, name=args.name,
+    import signal
+    from repro.serve.worker import BrokerClient, Worker, WorkerShutdown
+    client = BrokerClient(args.broker, max_attempts=args.retry_attempts,
+                          retry_seed=args.retry_seed)
+    worker = Worker(client, name=args.name,
                     poll_interval_s=args.poll_interval,
                     exit_when_idle=args.exit_when_idle)
-    tally = worker.run(max_chunks=args.max_chunks)
+
+    def _graceful(signum, frame):
+        # Raised into the worker loop: the in-flight lease is released
+        # (requeued immediately, grant un-counted), not abandoned.
+        worker.request_stop()
+        raise WorkerShutdown(signal.Signals(signum).name)
+
+    from repro.serve.worker import BrokerTransportError
+    previous = {signum: signal.signal(signum, _graceful)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        tally = worker.run(max_chunks=args.max_chunks)
+    except BrokerTransportError as error:
+        print(f"error: {error} (worker {worker.worker_id or 'unregistered'}"
+              f" giving up; raise --retry-attempts to outlast longer "
+              "broker restarts)", file=sys.stderr)
+        return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    stopped = " (stopped by signal, lease released)" \
+        if tally.get("stopped") else ""
     print(f"worker {tally['worker_id']}: "
           f"{tally['chunks_committed']} chunk(s) committed, "
           f"{tally['chunks_abandoned']} abandoned, "
-          f"{tally['chunks_failed']} failed", file=out)
+          f"{tally['chunks_failed']} failed{stopped}", file=out)
     return 0
 
 

@@ -19,16 +19,29 @@ construction: the :class:`repro.runs.ResultStore` is content-addressed
 and idempotent for identical replays, so a stale worker's late commit
 either lands as a no-op duplicate or is rejected as a conflict — it can
 never double-count packets.
+
+Durability: with ``state_dir`` (CLI ``--state-dir``) the broker
+journals every submission, grant, commit and failure to an append-only
+fsynced ``journal.jsonl`` (:mod:`repro.serve.journal`) and, on restart,
+replays it against the store's actual chunk coverage — committed
+chunks drop out of the rebuilt queue, outstanding leases are reaped as
+expired, job ids survive, and a SIGKILLed broker resumes mid-job
+without re-simulating a single committed chunk.
 """
 
-from repro.serve.broker import Broker, JobSpec
+from repro.serve.broker import Broker, BrokerDrainingError, JobSpec
+from repro.serve.journal import BrokerJournal
 from repro.serve.leases import (Lease, LeaseError, LeaseExpiredError,
                                 LeaseTable, UnknownLeaseError)
-from repro.serve.worker import BrokerClient, Worker
+from repro.serve.worker import (BrokerClient, BrokerTransportError, Worker,
+                                WorkerShutdown)
 
 __all__ = [
     "Broker",
     "BrokerClient",
+    "BrokerDrainingError",
+    "BrokerJournal",
+    "BrokerTransportError",
     "JobSpec",
     "Lease",
     "LeaseError",
@@ -36,4 +49,5 @@ __all__ = [
     "LeaseTable",
     "UnknownLeaseError",
     "Worker",
+    "WorkerShutdown",
 ]

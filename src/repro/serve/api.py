@@ -25,22 +25,30 @@ Routes (all JSON unless noted):
 ``POST /api/v1/heartbeat``                       renew a lease
 ``POST /api/v1/commit``                          commit a simulated chunk
 ``POST /api/v1/fail``                            report a failed chunk
+``POST /api/v1/release``                         gracefully return a lease
+                                                 (shutdown; attempt
+                                                 un-counted)
 ===============================================  =========================
 
 Error mapping: malformed requests and unknown ids return 400/404,
 expired or unknown leases 409 (the worker must drop the chunk), commit
-conflicts 409 with ``error_kind: "conflict"``.
+conflicts 409 with ``error_kind: "conflict"``, and a draining broker
+503 with ``error_kind: "draining"``.  Query parameters are validated at
+the edge: integers must be non-negative, floats non-negative and
+finite — ``wait_version=-1`` or ``timeout=nan`` is a 400, never a
+value the broker has to reason about.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.serve.broker import (Broker, BrokerError, CommitConflictError,
-                                UnknownJobError)
+from repro.serve.broker import (Broker, BrokerDrainingError, BrokerError,
+                                CommitConflictError, UnknownJobError)
 from repro.serve.leases import LeaseError
 
 __all__ = ["ServeServer", "create_server"]
@@ -114,6 +122,9 @@ class _Handler(BaseHTTPRequestHandler):
         except _RequestError as error:
             self._send_json({"error": str(error),
                              "error_kind": error.kind}, error.status)
+        except BrokerDrainingError as error:
+            self._send_json({"error": str(error),
+                             "error_kind": "draining"}, 503)
         except UnknownJobError as error:
             self._send_json({"error": str(error),
                              "error_kind": "unknown_job"}, 404)
@@ -199,6 +210,12 @@ class _Handler(BaseHTTPRequestHandler):
                     self._required(body, "task_id"),
                     str(body.get("error", "unspecified worker error"))))
                 return
+            if route == ["release"]:
+                body = self._read_json()
+                self._send_json(broker.release(
+                    self._required(body, "lease_id"),
+                    self._required(body, "task_id")))
+                return
         raise _RequestError(404, f"no such route: {method} {self.path}",
                             kind="not_found")
 
@@ -217,20 +234,29 @@ class _Handler(BaseHTTPRequestHandler):
     @staticmethod
     def _int_param(query: dict, name: str) -> int:
         try:
-            return int(query[name])
+            value = int(query[name])
         except (ValueError, TypeError):
             raise _RequestError(400, f"query parameter {name!r} must be "
                                      "an integer") from None
+        if value < 0:
+            raise _RequestError(400, f"query parameter {name!r} must be "
+                                     f"non-negative, got {value}")
+        return value
 
     @staticmethod
     def _float_param(query: dict, name: str, default: float) -> float:
         if name not in query:
             return default
         try:
-            return float(query[name])
+            value = float(query[name])
         except (ValueError, TypeError):
             raise _RequestError(400, f"query parameter {name!r} must be "
                                      "a number") from None
+        if not math.isfinite(value) or value < 0:
+            raise _RequestError(400, f"query parameter {name!r} must be "
+                                     f"a finite non-negative number, got "
+                                     f"{query[name]}")
+        return value
 
     # Stdlib entry points.
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing

@@ -23,10 +23,16 @@ Seeded chunks make the duplicate case the only one a healthy fleet ever
 produces: every worker simulating a given chunk produces bit-identical
 counts.
 
-All state lives in one process behind one lock; the store is the only
-durable piece.  Restarting the broker forgets queued jobs but never
-loses committed chunks — resubmitting a grid against the warm store
-plans only what is still missing.
+All queue state lives in one process behind one lock; the store holds
+the committed chunks durably either way.  With a ``state_dir`` the
+queue state is durable too: submissions, lease grants, attempt counts
+and terminal failures are journaled to an append-only fsynced
+``journal.jsonl`` (:mod:`repro.serve.journal`), and a restarted broker
+replays it against the store's actual chunk coverage — committed chunks
+drop out of the rebuilt queue, outstanding leases are reaped as
+expired, and job ids (hence in-flight ``curve()`` clients) survive the
+restart.  Without a ``state_dir`` the historical behaviour remains:
+queued jobs die with the process, committed chunks never do.
 """
 
 from __future__ import annotations
@@ -34,15 +40,18 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.metrics import BERPoint
 from repro.obs.recorder import Recorder, activate
 from repro.runs.store import ResultStore, measurement_key
+from repro.serve.journal import JOURNAL_NAME, BrokerJournal
 from repro.serve.leases import LeaseTable, UnknownLeaseError
 from repro.sim.engine import SweepEngine, SweepPoint, SweepResult, chunk_spans
 
-__all__ = ["Broker", "BrokerError", "ChunkTask", "CommitConflictError",
-           "JobSpec", "UnknownJobError", "result_from_curve_payload"]
+__all__ = ["Broker", "BrokerDrainingError", "BrokerError", "ChunkTask",
+           "CommitConflictError", "JobSpec", "UnknownJobError",
+           "result_from_curve_payload"]
 
 
 def result_from_curve_payload(payload: dict) -> SweepResult:
@@ -70,10 +79,23 @@ class UnknownJobError(BrokerError):
     """The job id names no submitted job."""
 
 
+class BrokerDrainingError(BrokerError):
+    """The broker is shutting down and no longer accepts new work."""
+
+
 class CommitConflictError(BrokerError):
     """A committed measurement conflicts with what the store already
     holds for that chunk — a nondeterministic or misconfigured worker,
     never a healthy retry (seeded chunks replay bit-identically)."""
+
+
+def _id_serial(identifier: str) -> int:
+    """The numeric suffix of ids like ``job-0007``/``lease-000012``
+    (0 when there is none) — how recovery restores id counters."""
+    try:
+        return int(str(identifier).rsplit("-", 1)[-1])
+    except ValueError:
+        return 0
 
 
 def _point_to_dict(point: SweepPoint) -> dict:
@@ -256,11 +278,21 @@ class Broker:
         (default: a fresh one).  Store hit/miss counters accumulate here
         too, which is where the status endpoint's cache hit rates come
         from.
+    state_dir:
+        Directory for durable broker state.  When given, every
+        submission, lease grant, commit and failure is appended to an
+        fsynced ``journal.jsonl`` there, and an existing journal is
+        replayed on construction: jobs are re-planned against the
+        store's current coverage (committed chunks drop out), attempt
+        counts are restored, and outstanding pre-crash leases are
+        reaped as expired so their chunks requeue.  ``None`` (default)
+        keeps the historical in-memory-only queue.
     """
 
     def __init__(self, store_dir, store_format: str | None = None,
                  lease_timeout_s: float = 30.0, max_attempts: int = 5,
-                 clock=time.monotonic, recorder: Recorder | None = None):
+                 clock=time.monotonic, recorder: Recorder | None = None,
+                 state_dir=None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.recorder = Recorder() if recorder is None else recorder
@@ -278,10 +310,38 @@ class Broker:
         self._workers: dict[str, dict] = {}
         self._job_counter = 0
         self._worker_counter = 0
+        self._draining = False
+        self._journal: BrokerJournal | None = None
+        if state_dir is not None:
+            self._journal = BrokerJournal(Path(state_dir) / JOURNAL_NAME)
+            self._recover()
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_shutdown` stopped new submissions/leases."""
+        with self._lock:
+            return self._draining
+
+    def begin_shutdown(self) -> None:
+        """Stop accepting submissions and lease grants (graceful drain).
+
+        Called from the SIGTERM path before the process exits: the
+        journal is already flushed per append, in-flight leases stay
+        journaled (a restarted broker reaps them as expired), and
+        long-polling ``curve()`` clients are woken so they observe the
+        current state instead of blocking on a dying process.
+        """
+        with self._changed:
+            self._draining = True
+            self._changed.notify_all()
 
     def close(self) -> None:
         """Release the store's backend resources."""
         self.store.close()
+
+    def _journal_record(self, kind: str, **fields) -> None:
+        if self._journal is not None:
+            self._journal.record(kind, **fields)
 
     # ------------------------------------------------------------------
     # Submission and planning
@@ -298,62 +358,153 @@ class Broker:
         """
         spec = (spec_data if isinstance(spec_data, JobSpec)
                 else JobSpec.from_dict(spec_data))
+        with self._changed, activate(self.recorder):
+            if self._draining:
+                raise BrokerDrainingError(
+                    "broker is draining for shutdown; submit to a "
+                    "restarted broker (queued state is journaled)")
+            self._reap()
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter:04d}"
+            job = self._plan_job(spec, job_id)
+            self._journal_record("job", job_id=job_id, spec=spec.to_dict())
+            self.recorder.counter("serve.jobs_submitted")
+            self._changed.notify_all()
+            return self._job_descriptor(job)
+
+    def _plan_job(self, spec: JobSpec, job_id: str) -> _Job:
+        """Plan ``spec`` into tasks under ``job_id`` (caller holds the
+        lock).  Shared verbatim by :meth:`submit` and journal replay —
+        replaying a ``job`` record against the *current* store coverage
+        is exactly what drops already-committed chunks from a rebuilt
+        queue."""
         engine = spec.build_engine()
         engine._validate_modulations(spec.points)
         config_digest = engine.config_digest()
         requested = spec.num_packets
-        with self._changed, activate(self.recorder):
-            self._reap()
-            self._job_counter += 1
-            job_id = f"job-{self._job_counter:04d}"
-            keys = []
-            task_ids: list[str] = []
-            points_cached = 0
-            chunks_shared = 0
-            for point in spec.points:
-                key = measurement_key(engine.point_digest(point),
-                                      config_digest,
-                                      spec.payload_bits_per_packet)
-                keys.append(key)
-                if self.store.lookup(key, requested) is not None:
-                    points_cached += 1
-                    continue
-                covered = self.store.coverage(key)
-                stored = self.store.chunks_for(key)
-                spans = chunk_spans(requested - covered,
-                                    spec.chunk_packets, covered)
-                missing = [(offset, packets) for offset, packets in spans
-                           if stored.get(offset) != packets]
-                for offset, packets in missing:
-                    task_id = f"{key}:{offset}"
-                    task = self._tasks.get(task_id)
+        keys = []
+        task_ids: list[str] = []
+        points_cached = 0
+        chunks_shared = 0
+        for point in spec.points:
+            key = measurement_key(engine.point_digest(point),
+                                  config_digest,
+                                  spec.payload_bits_per_packet)
+            keys.append(key)
+            if self.store.lookup(key, requested) is not None:
+                points_cached += 1
+                continue
+            covered = self.store.coverage(key)
+            stored = self.store.chunks_for(key)
+            spans = chunk_spans(requested - covered,
+                                spec.chunk_packets, covered)
+            missing = [(offset, packets) for offset, packets in spans
+                       if stored.get(offset) != packets]
+            for offset, packets in missing:
+                task_id = f"{key}:{offset}"
+                task = self._tasks.get(task_id)
+                if task is not None and task.state != "failed":
+                    chunks_shared += 1
+                else:
+                    payload_bits = spec.payload_bits_per_packet
+                    task = ChunkTask(
+                        task_id=task_id, key=key, point=point,
+                        packet_offset=int(offset),
+                        num_packets=int(packets),
+                        payload_bits_per_packet=payload_bits,
+                        engine_params=spec.engine_params())
+                    self._tasks[task_id] = task
+                    self._queue.append(task_id)
+                task.job_ids.add(job_id)
+                task_ids.append(task_id)
+        job = _Job(job_id=job_id, spec=spec, keys=tuple(keys),
+                   task_ids=tuple(task_ids), remaining=len(task_ids),
+                   points_cached=points_cached,
+                   chunks_shared=chunks_shared)
+        if job.remaining == 0:
+            job.state = "done"
+        self._jobs[job_id] = job
+        self.recorder.counter("serve.chunks_planned",
+                              len(task_ids) - chunks_shared)
+        self.recorder.counter("serve.chunks_shared", chunks_shared)
+        return job
+
+    # ------------------------------------------------------------------
+    # Journal recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild queue state by replaying the journal (constructor).
+
+        The journal is a redo log of intent, not a snapshot: ``job``
+        records re-run the exact submit-time planning against the
+        store's *current* coverage, so chunks committed at any time —
+        before or after the crash — are dropped rather than
+        re-simulated.  ``grant`` records restore attempt counts and
+        advance the lease-id counter past every id ever issued; the
+        leases themselves are not restored (reaped as expired), so any
+        task that was leased at the crash sits requeued as pending.
+        Replay is idempotent: recovering twice from the same journal
+        (and store) reaches the same state.
+        """
+        records, corrupt = self._journal.read()
+        if corrupt:
+            self.recorder.counter("serve.journal_corrupt_lines", corrupt)
+        if not records:
+            return
+        outstanding: dict[str, int] = {}  # task_id -> live grants at crash
+        max_lease_serial = 0
+        with self._lock, activate(self.recorder):
+            for record in records:
+                kind = record["kind"]
+                task = self._tasks.get(record.get("task_id", ""))
+                if kind == "job":
+                    job_id = str(record["job_id"])
+                    try:
+                        spec = JobSpec.from_dict(record["spec"])
+                        self._job_counter = max(
+                            self._job_counter, _id_serial(job_id))
+                        self._plan_job(spec, job_id)
+                    except (BrokerError, ValueError):
+                        # A journal written by an incompatible code
+                        # version; skip the job, keep the broker up.
+                        self.recorder.counter(
+                            "serve.jobs_recovery_skipped")
+                        continue
+                    self.recorder.counter("serve.jobs_recovered")
+                elif kind == "grant":
+                    lease_data = record["lease"]
+                    max_lease_serial = max(
+                        max_lease_serial,
+                        _id_serial(str(lease_data.get("lease_id", ""))))
+                    if task is not None:
+                        task.attempts = max(
+                            task.attempts, int(lease_data.get("attempt", 1)))
+                        outstanding[task.task_id] = \
+                            outstanding.get(task.task_id, 0) + 1
+                elif kind == "release":
+                    if task is not None:
+                        # A graceful worker shutdown returned the lease;
+                        # that grant never counts toward max_attempts.
+                        task.attempts = max(task.attempts - 1, 0)
+                        outstanding[task.task_id] = max(
+                            outstanding.get(task.task_id, 0) - 1, 0)
+                elif kind == "commit":
+                    # Appended only after the store ingest succeeded, so
+                    # planning already dropped the chunk; the store is
+                    # the truth and nothing needs marking here.
+                    outstanding.pop(record["task_id"], None)
+                elif kind == "requeue":
+                    outstanding.pop(record["task_id"], None)
+                elif kind == "task_failed":
+                    outstanding.pop(record["task_id"], None)
                     if task is not None and task.state != "failed":
-                        chunks_shared += 1
-                    else:
-                        payload_bits = spec.payload_bits_per_packet
-                        task = ChunkTask(
-                            task_id=task_id, key=key, point=point,
-                            packet_offset=int(offset),
-                            num_packets=int(packets),
-                            payload_bits_per_packet=payload_bits,
-                            engine_params=spec.engine_params())
-                        self._tasks[task_id] = task
-                        self._queue.append(task_id)
-                    task.job_ids.add(job_id)
-                    task_ids.append(task_id)
-            job = _Job(job_id=job_id, spec=spec, keys=tuple(keys),
-                       task_ids=tuple(task_ids), remaining=len(task_ids),
-                       points_cached=points_cached,
-                       chunks_shared=chunks_shared)
-            if job.remaining == 0:
-                job.state = "done"
-            self._jobs[job_id] = job
-            self.recorder.counter("serve.jobs_submitted")
-            self.recorder.counter("serve.chunks_planned",
-                                  len(task_ids) - chunks_shared)
-            self.recorder.counter("serve.chunks_shared", chunks_shared)
-            self._changed.notify_all()
-            return self._job_descriptor(job)
+                        self._fail_task(task, str(record["reason"]))
+            self._leases.advance_ids(max_lease_serial)
+            requeued = sum(
+                1 for task_id, grants in outstanding.items() if grants > 0
+                and (task := self._tasks.get(task_id)) is not None
+                and task.state == "pending")
+            self.recorder.counter("serve.tasks_requeued", requeued)
 
     # ------------------------------------------------------------------
     # Worker-facing: register / lease / heartbeat / commit
@@ -385,7 +536,7 @@ class Broker:
         with self._lock:
             self._touch_worker(worker_id)
             self._reap()
-            while self._queue:
+            while self._queue and not self._draining:
                 task = self._tasks.get(self._queue.pop(0))
                 if task is None or task.state != "pending":
                     continue  # committed or failed while queued
@@ -393,6 +544,8 @@ class Broker:
                 task.attempts += 1
                 lease = self._leases.grant(task.task_id, worker_id,
                                            attempt=task.attempts)
+                self._journal_record("grant", task_id=task.task_id,
+                                     lease=lease.to_dict())
                 self.recorder.counter("serve.chunks_leased")
                 return {"task": task.descriptor(),
                         "lease_id": lease.lease_id,
@@ -400,7 +553,10 @@ class Broker:
                         "lease_timeout_s": self._leases.timeout_s}
             outstanding = sum(1 for task in self._tasks.values()
                               if task.state in ("pending", "leased"))
-            return {"task": None, "outstanding": outstanding}
+            response = {"task": None, "outstanding": outstanding}
+            if self._draining:
+                response["draining"] = True
+            return response
 
     def heartbeat(self, lease_id: str) -> dict:
         """Renew a lease (raises :class:`repro.serve.leases.LeaseError`
@@ -461,6 +617,10 @@ class Broker:
             if duplicate:
                 self.recorder.counter("serve.commit_duplicates")
             else:
+                # Journaled after the store ingest above succeeded: a
+                # commit record always implies a durable chunk, so
+                # replay never has to trust the journal over the store.
+                self._journal_record("commit", task_id=task.task_id)
                 task.state = "done"
                 task.last_error = None
                 for job_id in task.job_ids:
@@ -489,6 +649,32 @@ class Broker:
                 raise BrokerError(f"unknown task {task_id!r}")
             if task.state == "leased":
                 self._requeue(task, f"worker error: {error}")
+                self._changed.notify_all()
+            return {"ok": True, "state": task.state}
+
+    def release(self, lease_id: str, task_id: str) -> dict:
+        """A worker gracefully returning a lease it will not finish.
+
+        The shutdown path (SIGTERM'd worker): the chunk requeues
+        immediately *and the grant is un-counted* — unlike :meth:`fail`,
+        a graceful release never moves a task toward ``max_attempts``,
+        because nothing went wrong with the chunk.
+        """
+        with self._changed:
+            try:
+                self._leases.release(lease_id)
+            except UnknownLeaseError:
+                pass  # already reaped; the task was requeued then
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise BrokerError(f"unknown task {task_id!r}")
+            if task.state == "leased":
+                task.attempts = max(task.attempts - 1, 0)
+                task.state = "pending"
+                task.last_error = None
+                self._queue.append(task.task_id)
+                self._journal_record("release", task_id=task.task_id)
+                self.recorder.counter("serve.leases_released")
                 self._changed.notify_all()
             return {"ok": True, "state": task.state}
 
@@ -524,7 +710,8 @@ class Broker:
                 deadline = None if timeout_s is None \
                     else self._clock() + timeout_s
                 while (job.version <= wait_version
-                       and job.state == "running"):
+                       and job.state == "running"
+                       and not self._draining):
                     remaining = None if deadline is None \
                         else deadline - self._clock()
                     if remaining is not None and remaining <= 0:
@@ -580,6 +767,8 @@ class Broker:
             return {
                 "workers": sorted(self._workers.values(),
                                   key=lambda info: info["worker_id"]),
+                "draining": self._draining,
+                "durable": self._journal is not None,
                 "jobs": jobs,
                 "tasks": states,
                 "leases_active": len(self._leases),
@@ -649,16 +838,26 @@ class Broker:
     def _requeue(self, task: ChunkTask, reason: str) -> None:
         task.last_error = reason
         if task.attempts >= self.max_attempts:
-            task.state = "failed"
-            self.recorder.counter("serve.chunks_failed")
-            for job_id in task.job_ids:
-                job = self._jobs[job_id]
-                if job.state == "running":
-                    job.state = "failed"
-                    job.error = (f"chunk {task.task_id} failed after "
-                                 f"{task.attempts} attempt(s): {reason}")
-                    job.version += 1
+            self._fail_task(task, reason)
+            self._journal_record("task_failed", task_id=task.task_id,
+                                 reason=reason)
             self._changed.notify_all()
         else:
             task.state = "pending"
             self._queue.append(task.task_id)
+            self._journal_record("requeue", task_id=task.task_id,
+                                 reason=reason)
+
+    def _fail_task(self, task: ChunkTask, reason: str) -> None:
+        """Mark a task terminally failed and fail every attached job
+        (shared by the live attempt-cap path and journal replay)."""
+        task.state = "failed"
+        task.last_error = reason
+        self.recorder.counter("serve.chunks_failed")
+        for job_id in task.job_ids:
+            job = self._jobs[job_id]
+            if job.state == "running":
+                job.state = "failed"
+                job.error = (f"chunk {task.task_id} failed after "
+                             f"{task.attempts} attempt(s): {reason}")
+                job.version += 1

@@ -1,0 +1,194 @@
+"""Durable broker state: the append-only, fsynced recovery journal.
+
+The broker's queue — submitted :class:`~repro.serve.broker.JobSpec`\\ s,
+task attempt counts, lease grants, terminal failures — used to live
+only in memory; a broker crash dropped every queued job even though the
+committed chunks themselves are durable in the content-addressed store.
+``journal.jsonl`` closes that gap with the same write discipline as the
+result store and :class:`repro.obs.ledger.EventLedger`: every record is
+one JSON line, appended with a single ``os.write`` on an ``O_APPEND``
+descriptor followed by ``fsync``, so concurrent appends never interleave
+partial lines and a crash tears at worst the final line — which
+:meth:`BrokerJournal.read` skips and counts, never fatal.
+
+The journal is a *redo log of intent*, not a state snapshot: recovery
+(:meth:`repro.serve.Broker` with ``state_dir=``) replays the records
+**against the store's actual chunk coverage** — each ``job`` record is
+re-planned with the exact submit-time planning code, so chunks that
+were committed before (or after!) the crash drop out of the rebuilt
+queue automatically, and nothing is ever re-simulated.  ``grant``
+records restore per-task attempt counts and advance the lease-id
+counter past every id ever issued (a stale pre-crash worker can then
+never collide with a post-restart lease); outstanding leases themselves
+are *not* restored — they are reaped as expired, which requeues their
+tasks exactly like a worker death.
+
+Record kinds (all carry ``schema`` + ``kind``):
+
+``job``
+    ``{job_id, spec}`` — a validated submission; ``spec`` is the
+    :meth:`JobSpec.to_dict` payload and round-trips losslessly.
+``grant``
+    ``{task_id, lease}`` — a lease grant; ``lease`` is
+    :meth:`repro.serve.leases.Lease.to_dict` (the serialized claim).
+``commit``
+    ``{task_id}`` — appended *after* the store ingest succeeded, so a
+    commit record always implies the chunk is durable in the store.
+``release``
+    ``{task_id}`` — a graceful worker shutdown returned the lease; the
+    grant's attempt is un-counted on replay.
+``requeue``
+    ``{task_id, reason}`` — an expired lease or reported worker
+    failure put the task back in the queue (attempts stay counted).
+``task_failed``
+    ``{task_id, reason}`` — terminal: the attempt cap was reached and
+    the task plus every attached job failed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JOURNAL_NAME", "JOURNAL_SCHEMA_VERSION", "BrokerJournal",
+           "validate_record"]
+
+#: File name of the broker journal inside a ``--state-dir`` directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Journal record schema version (bump on incompatible shape changes).
+JOURNAL_SCHEMA_VERSION = 1
+
+_KINDS = ("job", "grant", "commit", "release", "requeue", "task_failed")
+
+_REQUIRED_FIELDS = {
+    "job": ("job_id", "spec"),
+    "grant": ("task_id", "lease"),
+    "commit": ("task_id",),
+    "release": ("task_id",),
+    "requeue": ("task_id", "reason"),
+    "task_failed": ("task_id", "reason"),
+}
+
+
+def validate_record(record) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid journal record.
+
+    Checks the envelope (``schema`` pin, known ``kind``), the
+    kind-specific required fields, and JSON-serializability — the single
+    source of truth both the appender and the replayer trust.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"journal record must be a dict, got {type(record).__name__}")
+    if record.get("schema") != JOURNAL_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported journal schema {record.get('schema')!r} "
+            f"(expected {JOURNAL_SCHEMA_VERSION})")
+    kind = record.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown journal record kind {kind!r}")
+    for field in _REQUIRED_FIELDS[kind]:
+        value = record.get(field)
+        if value is None:
+            raise ValueError(f"{kind!r} journal record needs {field!r}")
+        if field in ("job_id", "task_id", "reason") \
+                and not isinstance(value, str):
+            raise ValueError(f"journal field {field!r} must be a string, "
+                             f"got {value!r}")
+        if field in ("spec", "lease") and not isinstance(value, dict):
+            raise ValueError(f"journal field {field!r} must be an object, "
+                             f"got {value!r}")
+    try:
+        json.dumps(record)
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"journal record is not JSON-serializable: {error}") from None
+
+
+class BrokerJournal:
+    """The append-only ``journal.jsonl`` of one broker state directory.
+
+    Writes are validated, serialized with sorted keys, and flushed with
+    the store's ``O_APPEND`` + ``fsync`` discipline; reads tolerate (and
+    count) a torn tail line from a crashed append.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one record of ``kind`` with ``fields``; returns it."""
+        record = {"schema": JOURNAL_SCHEMA_VERSION, "kind": kind, **fields}
+        self.append([record])
+        return record
+
+    def append(self, records) -> int:
+        """Validate and append a batch of records; returns the count.
+
+        The whole batch goes out as one ``os.write`` on an ``O_APPEND``
+        descriptor followed by ``fsync`` — atomic with respect to
+        concurrent appenders, durable up to the last completed batch.
+
+        Unlike the run ledger (one writer, one run), the journal is
+        re-opened for appending after a crash, so a torn tail left
+        without its newline would glue the next record onto the corrupt
+        bytes and destroy it too.  The first append to a file whose last
+        byte is not a newline therefore terminates the torn line first,
+        confining the damage to the line that was already lost.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        lines = []
+        for record in records:
+            validate_record(record)
+            lines.append(json.dumps(record, sort_keys=True))
+        payload = "\n".join(lines) + "\n"
+        if self._tail_is_torn():
+            payload = "\n" + payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(self.path,
+                             os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(descriptor, payload.encode("utf-8"))
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+        return len(records)
+
+    def _tail_is_torn(self) -> bool:
+        """Whether the file ends mid-line (crashed append, no newline)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file: nothing to heal
+
+    def read(self) -> tuple[list[dict], int]:
+        """Load the journal; returns ``(records, corrupt_count)``.
+
+        Corrupt or truncated lines — the torn tail of a crashed append,
+        or bit rot — are skipped and counted, never fatal: losing the
+        final grant or requeue record costs at most one redundant (and
+        bit-identical) chunk re-execution, exactly like a worker death.
+        """
+        if not self.path.exists():
+            return [], 0
+        records: list[dict] = []
+        corrupt = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    validate_record(record)
+                except (json.JSONDecodeError, ValueError):
+                    corrupt += 1
+                    continue
+                records.append(record)
+        return records, corrupt

@@ -50,6 +50,24 @@ class Lease:
         """Whether the deadline has passed at monotonic time ``now``."""
         return now > self.deadline
 
+    def to_dict(self) -> dict:
+        """The JSON-safe serialized claim (journal ``grant`` records)."""
+        return {"lease_id": self.lease_id, "task_id": self.task_id,
+                "worker_id": self.worker_id,
+                "granted_at": self.granted_at, "deadline": self.deadline,
+                "attempt": self.attempt}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        """Rebuild a lease from :meth:`to_dict` output (raises
+        ``ValueError``/``KeyError``/``TypeError`` on malformed data)."""
+        return cls(lease_id=str(data["lease_id"]),
+                   task_id=str(data["task_id"]),
+                   worker_id=str(data["worker_id"]),
+                   granted_at=float(data["granted_at"]),
+                   deadline=float(data["deadline"]),
+                   attempt=int(data["attempt"]))
+
 
 class LeaseTable:
     """Live leases, keyed by lease id, with deadline bookkeeping.
@@ -161,6 +179,18 @@ class LeaseTable:
     def active(self) -> tuple[Lease, ...]:
         """Every live (granted, unreaped) lease."""
         return tuple(self._leases.values())
+
+    def advance_ids(self, past: int) -> None:
+        """Ensure the next granted lease id is greater than ``past``.
+
+        Recovery replays the journal's grant records through this so a
+        restarted broker never reissues a lease id a pre-crash worker
+        might still present — an old id must resolve to *unknown*
+        (ingested as a stale commit), never to someone else's lease.
+        """
+        past = int(past)
+        current = next(self._ids)
+        self._ids = itertools.count(max(current, past + 1))
 
     def _drop(self, lease: Lease) -> None:
         self._leases.pop(lease.lease_id, None)

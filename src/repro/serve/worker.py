@@ -18,11 +18,27 @@ broker reports the lease dead (expired, re-leased elsewhere), the
 worker abandons the chunk: its result is discarded locally rather than
 committed, keeping the at-most-once story clean even before the
 store's idempotency backstop.
+
+Transport resilience: the broker restarting (durable brokers journal
+their queue and come back) or a dropped connection must not kill a
+fleet of workers, so :class:`BrokerClient` retries *transport* errors —
+``URLError``, connection resets, timeouts — with bounded, seeded-jitter
+exponential backoff, raising :class:`BrokerTransportError` loudly only
+after the attempt budget is spent.  HTTP-level rejections
+(:class:`BrokerRequestError`) are never retried: the broker answered;
+retrying the same request cannot change its mind.
+
+Shutdown: ``python -m repro worker`` installs SIGTERM/SIGINT handlers
+that raise :class:`WorkerShutdown` in the worker loop; the loop
+*releases* its in-flight lease (``POST /api/v1/release`` — the chunk
+requeues immediately and the grant is un-counted) instead of abandoning
+it to the lease timeout, then exits cleanly.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -31,7 +47,8 @@ import urllib.request
 from repro.core.metrics import BERPoint
 from repro.sim.engine import SweepEngine, SweepPoint
 
-__all__ = ["BrokerClient", "BrokerRequestError", "Worker"]
+__all__ = ["BrokerClient", "BrokerRequestError", "BrokerTransportError",
+           "Worker", "WorkerShutdown"]
 
 
 class BrokerRequestError(RuntimeError):
@@ -43,15 +60,79 @@ class BrokerRequestError(RuntimeError):
         self.kind = kind
 
 
-class BrokerClient:
-    """JSON-over-HTTP client for the serve API (stdlib urllib only)."""
+class BrokerTransportError(RuntimeError):
+    """The broker stayed unreachable through the whole retry budget.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    Raised only after :class:`BrokerClient` exhausted its bounded
+    backoff schedule against transient transport failures (connection
+    refused/reset, timeouts, DNS trouble) — a loud signal that the
+    broker is really gone, not merely restarting.
+    """
+
+    def __init__(self, attempts: int, message: str):
+        super().__init__(
+            f"broker unreachable after {attempts} attempt(s): {message}")
+        self.attempts = attempts
+
+
+class WorkerShutdown(Exception):
+    """Raised into the worker loop to request a graceful stop.
+
+    The CLI's SIGTERM/SIGINT handlers raise this in the main thread;
+    :meth:`Worker.run` catches it, releases any in-flight lease back to
+    the broker, and returns its tally with ``stopped: True``.
+    """
+
+
+#: Transport-level exceptions worth retrying.  ``URLError`` covers
+#: refused/reset connections and DNS failures wrapped by urllib;
+#: ``OSError`` covers raw socket errors (``ConnectionResetError``,
+#: ``BrokenPipeError``, ``socket.timeout``) escaping unwrapped.  Note
+#: ``HTTPError`` subclasses ``URLError`` — it is re-raised as a
+#: :class:`BrokerRequestError` *before* the retry check, so an answered
+#: request is never retried.
+_TRANSIENT_ERRORS = (urllib.error.URLError, ConnectionError, OSError)
+
+
+class BrokerClient:
+    """JSON-over-HTTP client for the serve API (stdlib urllib only).
+
+    Parameters
+    ----------
+    base_url:
+        The broker's base URL (as printed by ``python -m repro serve``).
+    timeout_s:
+        Per-request socket timeout.
+    max_attempts:
+        Total tries per request against transient transport errors
+        before :class:`BrokerTransportError` is raised (>= 1).
+    backoff_base_s / backoff_cap_s:
+        The exponential backoff schedule: attempt ``k`` sleeps
+        ``min(base * 2**k, cap)`` scaled by a seeded jitter factor in
+        [0.5, 1.0] — bounded, deterministic for a given ``retry_seed``,
+        and desynchronized across differently-seeded workers.
+    retry_seed:
+        Seed for the jitter stream (default 0 — deterministic; give
+        each worker its own seed to spread a thundering herd).
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0,
+                 max_attempts: int = 5, backoff_base_s: float = 0.1,
+                 backoff_cap_s: float = 5.0, retry_seed: int = 0,
+                 sleep=time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.transport_retries = 0
+        self._jitter = random.Random(retry_seed)
+        self._sleep = sleep
 
     # -- plumbing ------------------------------------------------------
-    def _request(self, method: str, path: str, payload=None):
+    def _request_once(self, method: str, path: str, payload=None):
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -72,6 +153,26 @@ class BrokerClient:
             except json.JSONDecodeError:
                 message, kind = body, "error"
             raise BrokerRequestError(error.code, message, kind) from None
+
+    def _request(self, method: str, path: str, payload=None):
+        """One logical request: transient transport errors are retried
+        on the bounded seeded-jitter backoff schedule; HTTP rejections
+        propagate immediately as :class:`BrokerRequestError`."""
+        last_error = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                delay = min(self.backoff_base_s * 2 ** (attempt - 1),
+                            self.backoff_cap_s)
+                self._sleep(delay * (0.5 + 0.5 * self._jitter.random()))
+                self.transport_retries += 1
+            try:
+                return self._request_once(method, path, payload)
+            except BrokerRequestError:
+                raise
+            except _TRANSIENT_ERRORS as error:
+                last_error = error
+        raise BrokerTransportError(self.max_attempts, str(last_error)) \
+            from last_error
 
     def get(self, path: str):
         """GET ``path`` and decode the JSON response."""
@@ -144,6 +245,12 @@ class BrokerClient:
                          {"lease_id": lease_id, "task_id": task_id,
                           "error": error})
 
+    def release(self, lease_id: str, task_id: str) -> dict:
+        """Gracefully return a lease (shutdown path): the chunk requeues
+        immediately and the grant does not count as an attempt."""
+        return self.post("/api/v1/release",
+                         {"lease_id": lease_id, "task_id": task_id})
+
 
 class _Heartbeat:
     """Renews one lease on a background thread while a chunk simulates.
@@ -180,8 +287,11 @@ class _Heartbeat:
                 if error.kind == "lease":
                     self.abandoned.set()
                     return
-            except OSError:
-                pass  # transient network trouble; try again next beat
+            except (BrokerTransportError, OSError):
+                pass  # broker unreachable; keep simulating — if it
+                # stays down past the lease timeout the restarted
+                # broker reaps the lease and our commit lands stale
+                # (an idempotent duplicate at worst)
 
 
 class Worker:
@@ -212,7 +322,20 @@ class Worker:
         self.chunks_committed = 0
         self.chunks_abandoned = 0
         self.chunks_failed = 0
+        self.stopped = False
+        self._stop = threading.Event()
+        self._inflight: tuple[str, str] | None = None  # (lease, task)
         self._engines: dict[tuple, SweepEngine] = {}
+
+    def request_stop(self) -> None:
+        """Ask the loop to stop at the next check (thread/signal-safe).
+
+        The loop exits after the current chunk commits; to interrupt a
+        chunk mid-simulation, raise :class:`WorkerShutdown` in the loop
+        thread instead (what the CLI's signal handlers do) — the
+        in-flight lease is then released, not abandoned.
+        """
+        self._stop.set()
 
     def _engine_for(self, params: dict) -> SweepEngine:
         key = (params["seed"], params["generation"], params["backend"],
@@ -259,27 +382,56 @@ class Worker:
         task = response["task"]
         lease_id = response["lease_id"]
         interval = max(float(response["lease_timeout_s"]) / 3.0, 0.05)
-        with _Heartbeat(self.client, lease_id, interval) as heartbeat:
-            try:
-                measurement = self.simulate(task)
-            except Exception as error:
-                # Report the failure so the chunk requeues immediately
-                # (instead of waiting out the lease), then propagate.
-                self.chunks_failed += 1
+        self._inflight = (lease_id, task["task_id"])
+        shutdown = False
+        try:
+            with _Heartbeat(self.client, lease_id, interval) as heartbeat:
                 try:
-                    self.client.fail(lease_id, task["task_id"], str(error))
-                except (BrokerRequestError, OSError):
-                    pass
-                raise
-        if heartbeat.abandoned.is_set():
-            # The broker gave the chunk to someone else; our result is
-            # bit-identical anyway, but dropping it keeps this worker
-            # honestly at-most-once without leaning on the store.
-            self.chunks_abandoned += 1
+                    measurement = self.simulate(task)
+                except WorkerShutdown:
+                    # A shutdown request is not a chunk failure: let
+                    # run() release the lease instead of failing it.
+                    shutdown = True
+                    raise
+                except Exception as error:
+                    # Report the failure so the chunk requeues
+                    # immediately (instead of waiting out the lease),
+                    # then propagate.
+                    self.chunks_failed += 1
+                    try:
+                        self.client.fail(lease_id, task["task_id"],
+                                         str(error))
+                    except (BrokerRequestError, BrokerTransportError,
+                            OSError):
+                        pass
+                    raise
+            if heartbeat.abandoned.is_set():
+                # The broker gave the chunk to someone else; our result
+                # is bit-identical anyway, but dropping it keeps this
+                # worker honestly at-most-once without leaning on the
+                # store.
+                self.chunks_abandoned += 1
+                return
+            self.client.commit(lease_id, task["task_id"],
+                               measurement.to_dict())
+            self.chunks_committed += 1
+        finally:
+            if not shutdown:
+                # Committed, abandoned, or reported failed — the chunk
+                # is disposed of either way.  On a shutdown the marker
+                # stays set so run() can *release* the live lease.
+                self._inflight = None
+
+    def _release_inflight(self) -> None:
+        """Gracefully return the lease of an interrupted chunk."""
+        if self._inflight is None:
             return
-        self.client.commit(lease_id, task["task_id"],
-                           measurement.to_dict())
-        self.chunks_committed += 1
+        lease_id, task_id = self._inflight
+        self._inflight = None
+        try:
+            self.client.release(lease_id, task_id)
+        except (BrokerRequestError, BrokerTransportError, OSError):
+            pass  # broker gone or lease reaped; the timeout requeues it
 
     def run_one(self) -> bool:
         """Pull and execute at most one chunk; False when queue is empty."""
@@ -296,18 +448,39 @@ class Worker:
         Stops after ``max_chunks`` commits (when given), or — with
         ``exit_when_idle`` — once the broker has no outstanding chunks
         (neither queued nor leased); otherwise idles on
-        ``poll_interval_s`` waiting for more work.
+        ``poll_interval_s`` waiting for more work.  A
+        :class:`WorkerShutdown` raised into the loop (the CLI's
+        SIGTERM/SIGINT handlers) or :meth:`request_stop` stops it
+        cleanly: any in-flight lease is *released* back to the broker —
+        requeued immediately, grant un-counted — rather than abandoned
+        to the lease timeout.
         """
-        self._ensure_registered()
-        while max_chunks is None or self.chunks_committed < max_chunks:
-            response = self.client.lease(self.worker_id)
-            if response.get("task") is not None:
-                self._execute(response)
-                continue
-            if self.exit_when_idle and response.get("outstanding", 0) == 0:
-                break
-            time.sleep(self.poll_interval_s)
+        try:
+            self._ensure_registered()
+            while max_chunks is None or self.chunks_committed < max_chunks:
+                if self._stop.is_set():
+                    self.stopped = True
+                    break
+                response = self.client.lease(self.worker_id)
+                if response.get("task") is not None:
+                    self._execute(response)
+                    continue
+                if self.exit_when_idle \
+                        and response.get("outstanding", 0) == 0:
+                    break
+                if response.get("draining"):
+                    # A draining broker grants nothing further; idling
+                    # on it would spin until the process dies.
+                    self.stopped = True
+                    break
+                if self._stop.wait(self.poll_interval_s):
+                    self.stopped = True
+                    break
+        except WorkerShutdown:
+            self.stopped = True
+            self._release_inflight()
         return {"worker_id": self.worker_id,
                 "chunks_committed": self.chunks_committed,
                 "chunks_abandoned": self.chunks_abandoned,
-                "chunks_failed": self.chunks_failed}
+                "chunks_failed": self.chunks_failed,
+                "stopped": self.stopped}

@@ -147,3 +147,52 @@ class TestErrorMapping:
         error = self._status_of(lambda: client.get(
             f"/api/v1/jobs/{job['job_id']}/curve?wait_version=soon"))
         assert error.status == 400
+
+    @pytest.mark.parametrize("query", [
+        "wait_version=-1",
+        "wait_version=0&timeout=-3",
+        "wait_version=0&timeout=nan",
+        "wait_version=0&timeout=inf",
+    ])
+    def test_negative_or_nonfinite_params_are_400(self, client, query):
+        # Validated at the edge: a poisoned wait_version/timeout must
+        # never reach the broker's long-poll arithmetic.
+        job = client.submit(SPEC)
+        error = self._status_of(lambda: client.get(
+            f"/api/v1/jobs/{job['job_id']}/curve?{query}"))
+        assert error.status == 400
+        assert error.kind == "bad_request"
+
+
+class TestReleaseAndDrain:
+    def test_release_route_requeues_without_attempt(self, server, client):
+        client.submit(SPEC)
+        worker_id = client.register("releasing")["worker_id"]
+        response = client.lease(worker_id)
+        outcome = client.release(response["lease_id"],
+                                 response["task"]["task_id"])
+        assert outcome == {"ok": True, "state": "pending"}
+        status = client.status()
+        assert status["tasks"]["leased"] == 0
+        assert status["counters"]["serve.leases_released"] == 1
+        # The grant was un-counted: the chunk leases again as attempt 1.
+        attempts = {client.lease(worker_id)["attempt"] for _ in range(6)}
+        assert attempts == {1}
+
+    def test_draining_broker_rejects_submissions_with_503(self, server,
+                                                          client):
+        client.submit(SPEC)
+        server.broker.begin_shutdown()
+        with pytest.raises(BrokerRequestError) as excinfo:
+            client.submit(SPEC)
+        assert excinfo.value.status == 503
+        assert excinfo.value.kind == "draining"
+
+    def test_draining_broker_stops_granting_leases(self, server, client):
+        client.submit(SPEC)
+        worker_id = client.register("late")["worker_id"]
+        server.broker.begin_shutdown()
+        response = client.lease(worker_id)
+        assert response["task"] is None
+        assert response["draining"] is True
+        assert client.status()["draining"] is True
